@@ -1,0 +1,65 @@
+// Reproduces Fig. 4 of the paper: OL_GD vs Greedy_GD vs Pri_GD as the
+// network size varies from 50 to 200 stations (given demands).
+//   (a) average delay vs network size;
+//   (b) running time vs network size.
+#include <iostream>
+#include <vector>
+
+#include "algorithms/baselines.h"
+#include "algorithms/ol_gd.h"
+#include "bench_util.h"
+#include "common/stats.h"
+#include "sim/scenario.h"
+
+using namespace mecsc;
+
+int main() {
+  const std::size_t topologies = bench::env_size("MECSC_TOPOLOGIES", 6);
+  const std::size_t slots = bench::env_size("MECSC_SLOTS", 100);
+  const std::vector<std::size_t> sizes{50, 100, 150, 200};
+
+  bench::print_header(
+      "OL_GD vs Greedy_GD vs Pri_GD over network sizes, given demands",
+      "Fig. 4(a) avg delay vs size, Fig. 4(b) running time vs size (" +
+          std::to_string(topologies) + " topologies per point)");
+
+  common::Table fig4a({"stations", "OL_GD", "Greedy_GD", "Pri_GD"});
+  common::Table fig4b({"stations", "OL_GD (ms)", "Greedy_GD (ms)", "Pri_GD (ms)"});
+
+  for (std::size_t n : sizes) {
+    common::RunningStats d_ol, d_gr, d_pr, t_ol, t_gr, t_pr;
+    for (std::size_t rep = 0; rep < topologies; ++rep) {
+      sim::ScenarioParams p;
+      p.num_stations = n;
+      p.horizon = slots;
+      p.workload.num_requests = 100;
+      p.seed = 2000 + 17 * n + rep;
+      sim::Scenario s(p);
+      algorithms::OlOptions opt;
+      opt.theta_prior = s.theta_prior();
+      auto ol = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
+                                       s.algorithm_seed(0));
+      auto gr = algorithms::make_greedy_gd(s.problem(), s.demands(), s.historical_delay_estimates());
+      auto pr = algorithms::make_pri_gd(s.problem(), s.demands(), s.historical_delay_estimates());
+      sim::RunResult r_ol = s.simulator().run(*ol);
+      sim::RunResult r_gr = s.simulator().run(*gr);
+      sim::RunResult r_pr = s.simulator().run(*pr);
+      d_ol.add(r_ol.mean_delay_ms());
+      d_gr.add(r_gr.mean_delay_ms());
+      d_pr.add(r_pr.mean_delay_ms());
+      t_ol.add(r_ol.total_decision_time_ms());
+      t_gr.add(r_gr.total_decision_time_ms());
+      t_pr.add(r_pr.total_decision_time_ms());
+      std::cout << "." << std::flush;
+    }
+    fig4a.add_row_values({static_cast<double>(n), d_ol.mean(), d_gr.mean(),
+                          d_pr.mean()}, 2);
+    fig4b.add_row_values({static_cast<double>(n), t_ol.mean(), t_gr.mean(),
+                          t_pr.mean()}, 1);
+  }
+  std::cout << "\n";
+  bench::print_table("Fig. 4(a): average delay (ms) vs network size", fig4a);
+  bench::print_table("Fig. 4(b): running time (ms per 100 slots) vs network size",
+                     fig4b);
+  return 0;
+}

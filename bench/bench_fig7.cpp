@@ -1,0 +1,98 @@
+// Reproduces Fig. 7 of the paper: OL_GAN vs OL_Reg on (i) the AS1755-like
+// real topology over 100 slots and (ii) network sizes 50..300. The paper
+// reports OL_GAN consistently lower, and delays decreasing with network
+// size (more low-delay stations to cache into).
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "algorithms/ol_gd.h"
+#include "bench_util.h"
+#include "common/stats.h"
+#include "predict/gan_predictor.h"
+#include "sim/scenario.h"
+
+using namespace mecsc;
+
+namespace {
+
+struct Point {
+  double gan_delay = 0.0;
+  double reg_delay = 0.0;
+  double gan_time = 0.0;
+  double reg_time = 0.0;
+};
+
+Point run_point(sim::ScenarioParams::NetKind kind, std::size_t stations,
+                std::size_t slots, std::size_t topologies, std::size_t gan_steps,
+                std::uint64_t seed0) {
+  common::RunningStats dg, dr, tg, tr;
+  for (std::size_t rep = 0; rep < topologies; ++rep) {
+    sim::ScenarioParams p;
+    p.net = kind;
+    p.num_stations = stations;
+    p.horizon = slots;
+    p.bursty = true;
+    p.workload.num_requests = 100;
+    p.seed = seed0 + rep;
+    sim::Scenario s(p);
+    algorithms::OlOptions opt;
+    opt.theta_prior = s.theta_prior();
+    predict::GanPredictorOptions gopt;
+    gopt.train_steps = gan_steps;
+    auto predictor = std::make_unique<predict::GanDemandPredictor>(
+        s.workload().requests, s.trace(), gopt, s.algorithm_seed(10));
+    auto ol_gan = algorithms::make_ol_with_predictor(
+        "OL_GAN", s.problem(), std::move(predictor), opt, s.algorithm_seed(0));
+    auto ol_reg = algorithms::make_ol_reg(s.problem(), 5, opt, s.algorithm_seed(1));
+    sim::RunResult rg = s.simulator().run(*ol_gan);
+    sim::RunResult rr = s.simulator().run(*ol_reg);
+    dg.add(rg.mean_delay_ms());
+    dr.add(rr.mean_delay_ms());
+    tg.add(rg.total_decision_time_ms());
+    tr.add(rr.total_decision_time_ms());
+    std::cout << "." << std::flush;
+  }
+  return {dg.mean(), dr.mean(), tg.mean(), tr.mean()};
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t topologies = bench::env_size("MECSC_TOPOLOGIES", 3);
+  const std::size_t slots = bench::env_size("MECSC_SLOTS", 100);
+  const std::size_t gan_steps = bench::env_size("MECSC_GAN_STEPS", 400);
+
+  bench::print_header(
+      "OL_GAN vs OL_Reg on AS1755-like topology and across network sizes",
+      "Fig. 7 (bursty unknown demands)");
+
+  Point as1755 = run_point(sim::ScenarioParams::NetKind::kAs1755, 172, slots,
+                           topologies, gan_steps, 5000);
+  std::cout << "\n";
+  common::Table ta({"algorithm", "mean delay (ms)", "decision time (ms)"});
+  ta.add_row({"OL_GAN", common::fmt(as1755.gan_delay, 2),
+              common::fmt(as1755.gan_time, 1)});
+  ta.add_row({"OL_Reg", common::fmt(as1755.reg_delay, 2),
+              common::fmt(as1755.reg_time, 1)});
+  bench::print_table("Fig. 7 (AS1755-like, 100 slots)", ta);
+
+  common::Table tb({"stations", "OL_GAN", "OL_Reg"});
+  std::vector<std::size_t> sizes{50, 100, 200, 300};
+  std::vector<double> gan_by_size;
+  for (std::size_t n : sizes) {
+    Point pt = run_point(sim::ScenarioParams::NetKind::kGtItm, n, slots,
+                         topologies, gan_steps, 5200 + n);
+    tb.add_row_values({static_cast<double>(n), pt.gan_delay, pt.reg_delay}, 2);
+    gan_by_size.push_back(pt.gan_delay);
+  }
+  std::cout << "\n";
+  bench::print_table("Fig. 7: average delay (ms) vs network size", tb);
+
+  std::cout << "\nPaper shape check: OL_GAN lower on AS1755 ("
+            << (as1755.gan_delay < as1755.reg_delay ? "OK" : "MISMATCH")
+            << "), delay decreasing with size ("
+            << (gan_by_size.back() < gan_by_size.front() ? "OK" : "MISMATCH")
+            << ")\n";
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation A5 (google-benchmark): per-slot LP paths compared — the exact
+// dense simplex on Eq. 3's full relaxation vs the flow-based
+// FractionalSolver used inside OL_GD at scale. Reports wall time per
+// solve; the companion accuracy numbers (objective gap) are printed once
+// at startup.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/fractional_solver.h"
+#include "core/lp_formulation.h"
+#include "core/problem.h"
+#include "net/generators.h"
+#include "workload/trace.h"
+
+using namespace mecsc;
+
+namespace {
+
+struct Instance {
+  std::unique_ptr<net::Topology> topo;
+  workload::Workload workload;
+  std::unique_ptr<core::CachingProblem> problem;
+  std::vector<double> demands;
+  std::vector<double> theta;
+};
+
+Instance make_instance(std::size_t stations, std::size_t requests,
+                       std::uint64_t seed) {
+  Instance inst;
+  common::Rng rng(seed);
+  net::GtItmParams gp;
+  gp.num_stations = stations;
+  inst.topo = std::make_unique<net::Topology>(net::generate_gtitm_like(gp, rng));
+  workload::WorkloadParams wp;
+  wp.num_requests = requests;
+  inst.workload = workload::make_workload(*inst.topo, wp, rng, false);
+  inst.problem = std::make_unique<core::CachingProblem>(
+      inst.topo.get(), inst.workload.services, inst.workload.requests,
+      core::ProblemOptions{}, rng);
+  for (const auto& r : inst.workload.requests) inst.demands.push_back(r.basic_demand);
+  for (std::size_t i = 0; i < stations; ++i) {
+    inst.theta.push_back(inst.topo->station(i).mean_unit_delay_ms);
+  }
+  return inst;
+}
+
+void report_gap_once() {
+  static bool done = false;
+  if (done) return;
+  done = true;
+  std::cout << "# Accuracy: flow-based objective vs exact simplex optimum\n";
+  for (std::size_t n : {6, 10, 14}) {
+    Instance inst = make_instance(n, n + 4, 100 + n);
+    core::LpFormulation lp(*inst.problem, inst.demands, inst.theta);
+    core::FractionalSolution exact = lp.solve(lp::SimplexSolver());
+    core::FractionalSolver flow(*inst.problem);
+    core::FractionalSolution approx = flow.solve(inst.demands, inst.theta);
+    double gap = 100.0 * (approx.objective - exact.objective) / exact.objective;
+    std::cout << "#   " << n << " stations: exact " << exact.objective
+              << " ms, flow " << approx.objective << " ms, gap " << gap << "%\n";
+  }
+}
+
+void BM_ExactSimplex(benchmark::State& state) {
+  report_gap_once();
+  Instance inst = make_instance(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(0)) + 4, 7);
+  core::LpFormulation lp(*inst.problem, inst.demands, inst.theta);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp.solve(lp::SimplexSolver()));
+  }
+}
+BENCHMARK(BM_ExactSimplex)->Arg(6)->Arg(10)->Arg(14)->Unit(benchmark::kMillisecond);
+
+void BM_FlowSolver(benchmark::State& state) {
+  Instance inst = make_instance(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(0)), 9);
+  core::FractionalSolver solver(*inst.problem);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.solve(inst.demands, inst.theta));
+  }
+}
+BENCHMARK(BM_FlowSolver)
+    ->Arg(6)
+    ->Arg(14)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

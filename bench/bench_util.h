@@ -1,0 +1,41 @@
+#ifndef MECSC_BENCH_BENCH_UTIL_H
+#define MECSC_BENCH_BENCH_UTIL_H
+
+// Shared helpers for the figure-reproduction harnesses. Each bench binary
+// regenerates one figure of the paper's §VI: it runs the relevant
+// algorithms over several topology replications (the paper averages over
+// 80; default here is smaller for laptop runtimes — override with
+// MECSC_TOPOLOGIES) and prints the figure's series as aligned tables.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+
+namespace mecsc::bench {
+
+/// Environment-variable override with default (all benches honour
+/// MECSC_TOPOLOGIES, MECSC_SLOTS, ...).
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || parsed == 0) return fallback;
+  return static_cast<std::size_t>(parsed);
+}
+
+/// Prints a titled table (and its CSV) to stdout.
+inline void print_table(const std::string& title, const common::Table& table) {
+  std::cout << "\n== " << title << " ==\n" << table.to_string();
+  std::cout << "-- csv --\n" << table.to_csv() << std::flush;
+}
+
+inline void print_header(const std::string& what, const std::string& paper_ref) {
+  std::cout << "#\n# " << what << "\n# Reproduces: " << paper_ref << "\n#\n";
+}
+
+}  // namespace mecsc::bench
+
+#endif  // MECSC_BENCH_BENCH_UTIL_H

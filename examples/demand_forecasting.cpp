@@ -1,0 +1,92 @@
+// Demand forecasting with the Info-RNN-GAN, standalone.
+//
+// Uses the gan/ and predict/ layers directly — no network, no simulator:
+// generate a synthetic two-hotspot demand history (diurnal + bursts),
+// keep a small sample of it, train the GAN, and compare one-step-ahead
+// forecasts against ARMA and last-value on held-out slots.
+//
+// Run: ./build/examples/demand_forecasting
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "gan/info_rnn_gan.h"
+#include "predict/predictor.h"
+#include "workload/demand_model.h"
+
+using namespace mecsc;
+
+int main() {
+  const std::size_t kHistory = 96;  // slots of (sampled) history
+  const std::size_t kTest = 48;     // held-out slots
+  const std::size_t kClusters = 2;
+  common::Rng rng(11);
+
+  // Two hotspots with different levels and phases, bursty on top.
+  std::vector<std::vector<double>> truth(kClusters);
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    workload::DiurnalDemand diurnal(10.0 + 6.0 * static_cast<double>(c), 24.0,
+                                    3.14 * static_cast<double>(c), 0.5);
+    workload::OnOffBurstDemand burst(0.10, 0.35, 4.0, 1.6, 25.0);
+    for (std::size_t t = 0; t < kHistory + kTest; ++t) {
+      truth[c].push_back(5.0 + diurnal.sample(t, rng) + burst.sample(t, rng));
+    }
+  }
+
+  // Normalize by a global scale, train on the history prefix.
+  double scale = 0.0;
+  for (const auto& s : truth) {
+    for (double v : s) scale = std::max(scale, v);
+  }
+  scale *= 1.2;
+  std::vector<std::vector<double>> train(kClusters);
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    for (std::size_t t = 0; t < kHistory; ++t) train[c].push_back(truth[c][t] / scale);
+  }
+
+  gan::InfoRnnGanConfig cfg;
+  cfg.num_codes = kClusters;
+  cfg.hidden = 16;
+  cfg.seq_len = 24;
+  gan::InfoRnnGan model(cfg, 5);
+  std::cout << "Training Info-RNN-GAN ("
+            << model.generator_parameter_count() << " G params, "
+            << model.discriminator_parameter_count() << " D+Q params) ...\n";
+  gan::GanStepStats last = model.train(train, 500);
+  std::cout << "final losses: D " << common::fmt(last.d_loss, 3) << ", G(adv) "
+            << common::fmt(last.g_adv_loss, 3) << ", info "
+            << common::fmt(last.info_loss, 3) << "\n\n";
+
+  // Walk the held-out slots: every predictor sees the true history up to
+  // t-1 and forecasts slot t.
+  common::Table table({"cluster", "GAN MAE", "ARMA(5) MAE", "last-value MAE"});
+  for (std::size_t c = 0; c < kClusters; ++c) {
+    predict::ArmaPredictor arma(5, {truth[c][0]});
+    predict::LastValuePredictor last_value({truth[c][0]});
+    for (std::size_t t = 0; t < kHistory; ++t) {
+      arma.observe(t, {truth[c][t]});
+      last_value.observe(t, {truth[c][t]});
+    }
+    std::vector<double> history(train[c]);
+    common::RunningStats gan_err, arma_err, last_err;
+    for (std::size_t t = kHistory; t < kHistory + kTest; ++t) {
+      double actual = truth[c][t];
+      gan_err.add(std::abs(model.predict_next(history, c) * scale - actual));
+      arma_err.add(std::abs(arma.predict(t)[0] - actual));
+      last_err.add(std::abs(last_value.predict(t)[0] - actual));
+      history.push_back(actual / scale);
+      arma.observe(t, {actual});
+      last_value.observe(t, {actual});
+    }
+    table.add_row_values({static_cast<double>(c), gan_err.mean(),
+                          arma_err.mean(), last_err.mean()},
+                         2);
+  }
+  std::cout << "One-step-ahead forecasting error over " << kTest
+            << " held-out slots (data units):\n"
+            << table.to_string();
+  return 0;
+}

@@ -1,0 +1,172 @@
+// mecsc_cli — run a configurable service-caching experiment from the
+// command line. The "embed the library in your tooling" example: every
+// knob of the scenario and the algorithm roster is a flag, output is a
+// table or CSV.
+//
+//   mecsc_cli [--stations N] [--requests N] [--slots N] [--seed S]
+//             [--net gtitm|as1755] [--bursty] [--algos list]
+//             [--gan-steps N] [--csv]
+//
+//   --algos   comma-separated subset of: ol_gd, ol_reg, ol_gan, greedy,
+//             pri (default: ol_gd,greedy,pri; ol_gan/ol_reg imply
+//             --bursty makes sense)
+//
+// Examples:
+//   mecsc_cli --stations 60 --slots 50
+//   mecsc_cli --bursty --algos ol_gan,ol_reg --gan-steps 300 --csv
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/baselines.h"
+#include "algorithms/ol_gd.h"
+#include "common/table.h"
+#include "predict/gan_predictor.h"
+#include "sim/scenario.h"
+
+using namespace mecsc;
+
+namespace {
+
+struct CliOptions {
+  sim::ScenarioParams scenario;
+  std::vector<std::string> algos{"ol_gd", "greedy", "pri"};
+  std::size_t gan_steps = 300;
+  bool csv = false;
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::cerr << "mecsc_cli: " << message << "\n"
+            << "usage: mecsc_cli [--stations N] [--requests N] [--slots N]\n"
+            << "                 [--seed S] [--net gtitm|as1755] [--bursty]\n"
+            << "                 [--algos ol_gd,ol_reg,ol_gan,greedy,pri]\n"
+            << "                 [--gan-steps N] [--csv]\n";
+  std::exit(2);
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > pos) out.push_back(s.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  opt.scenario.num_stations = 60;
+  opt.scenario.horizon = 50;
+  opt.scenario.workload.num_requests = 60;
+  opt.scenario.seed = 1;
+
+  auto need_value = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage_error(std::string(argv[i]) + " needs a value");
+    return argv[++i];
+  };
+  auto parse_count = [&](const std::string& v, const char* what) -> std::size_t {
+    char* end = nullptr;
+    unsigned long long n = std::strtoull(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0' || n == 0) {
+      usage_error(std::string("bad value for ") + what + ": " + v);
+    }
+    return static_cast<std::size_t>(n);
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--stations") {
+      opt.scenario.num_stations = parse_count(need_value(i), "--stations");
+    } else if (a == "--requests") {
+      opt.scenario.workload.num_requests = parse_count(need_value(i), "--requests");
+    } else if (a == "--slots") {
+      opt.scenario.horizon = parse_count(need_value(i), "--slots");
+    } else if (a == "--seed") {
+      opt.scenario.seed = parse_count(need_value(i), "--seed");
+    } else if (a == "--gan-steps") {
+      opt.gan_steps = parse_count(need_value(i), "--gan-steps");
+    } else if (a == "--net") {
+      std::string v = need_value(i);
+      if (v == "gtitm") {
+        opt.scenario.net = sim::ScenarioParams::NetKind::kGtItm;
+      } else if (v == "as1755") {
+        opt.scenario.net = sim::ScenarioParams::NetKind::kAs1755;
+      } else {
+        usage_error("unknown --net " + v);
+      }
+    } else if (a == "--bursty") {
+      opt.scenario.bursty = true;
+    } else if (a == "--csv") {
+      opt.csv = true;
+    } else if (a == "--algos") {
+      opt.algos = split_csv(need_value(i));
+      if (opt.algos.empty()) usage_error("--algos list is empty");
+    } else {
+      usage_error("unknown flag " + a);
+    }
+  }
+  return opt;
+}
+
+std::unique_ptr<algorithms::CachingAlgorithm> make_algorithm(
+    const std::string& name, sim::Scenario& s, const CliOptions& opt) {
+  algorithms::OlOptions ol;
+  if (name == "ol_gd") {
+    return algorithms::make_ol_gd(s.problem(), s.demands(), ol,
+                                  s.algorithm_seed(0));
+  }
+  if (name == "ol_reg") {
+    return algorithms::make_ol_reg(s.problem(), 5, ol, s.algorithm_seed(1));
+  }
+  if (name == "ol_gan") {
+    predict::GanPredictorOptions gopt;
+    gopt.train_steps = opt.gan_steps;
+    auto predictor = std::make_unique<predict::GanDemandPredictor>(
+        s.workload().requests, s.trace(), gopt, s.algorithm_seed(10));
+    return algorithms::make_ol_with_predictor("OL_GAN", s.problem(),
+                                              std::move(predictor), ol,
+                                              s.algorithm_seed(2));
+  }
+  if (name == "greedy") {
+    return algorithms::make_greedy_gd(s.problem(), s.demands(),
+                                      s.historical_delay_estimates());
+  }
+  if (name == "pri") {
+    return algorithms::make_pri_gd(s.problem(), s.demands(),
+                                   s.historical_delay_estimates());
+  }
+  usage_error("unknown algorithm " + name);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt = parse(argc, argv);
+  sim::Scenario scenario(opt.scenario);
+
+  if (!opt.csv) {
+    std::cerr << "scenario: " << scenario.topology().num_stations()
+              << " stations, " << scenario.problem().num_requests()
+              << " requests, " << scenario.simulator().horizon() << " slots, "
+              << (opt.scenario.bursty ? "bursty" : "given") << " demands, seed "
+              << opt.scenario.seed << "\n";
+  }
+
+  common::Table table({"algorithm", "mean delay (ms)", "steady-state (ms)",
+                       "decision time (ms/slot)", "capacity violations (MHz)"});
+  for (const auto& name : opt.algos) {
+    auto algo = make_algorithm(name, scenario, opt);
+    sim::RunResult r = scenario.simulator().run(*algo);
+    table.add_row({r.algorithm, common::fmt(r.mean_delay_ms(), 2),
+                   common::fmt(r.tail_mean_delay_ms(scenario.simulator().horizon() / 2), 2),
+                   common::fmt(r.mean_decision_time_ms(), 2),
+                   common::fmt(r.total_capacity_violation_mhz(), 1)});
+  }
+  std::cout << (opt.csv ? table.to_csv() : table.to_string());
+  return 0;
+}

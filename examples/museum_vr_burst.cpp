@@ -1,0 +1,107 @@
+// Museum VR burst — the paper's §III.B motivating scenario.
+//
+// "VR services of a museum may experience a bursty amount of inference
+// data if many people use its VR services suddenly."
+//
+// We build a bursty workload whose hotspot clusters occasionally erupt
+// (cluster-level events boost every user in the hotspot), train the
+// Info-RNN-GAN demand predictor on a *small sample* of historical
+// observations, and compare OL_GAN against the ARMA-based OL_Reg on the
+// same sample paths — including how each behaves in the slots around a
+// demand burst.
+//
+// Run: ./build/examples/museum_vr_burst
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+#include "algorithms/ol_gd.h"
+#include "common/table.h"
+#include "predict/gan_predictor.h"
+#include "sim/scenario.h"
+
+int main() {
+  using namespace mecsc;
+
+  sim::ScenarioParams params;
+  params.num_stations = 60;
+  params.horizon = 60;
+  params.bursty = true;
+  params.workload.num_requests = 60;
+  params.workload.num_clusters = 6;
+  // Make events (museum crowds) frequent and strong.
+  params.workload.event_prob = 0.10;
+  params.workload.event_duration = 4;
+  params.workload.event_boost = 3.0;
+  // Small-sample regime: predictors see only 25% of the history rows.
+  params.trace_sample_fraction = 0.25;
+  params.history_horizon = 96;
+  params.seed = 7;
+  sim::Scenario scenario(params);
+
+  std::cout << "Historical trace: " << scenario.trace().rows().size()
+            << " sampled observations over " << scenario.trace().horizon()
+            << " past slots, " << scenario.trace().num_clusters()
+            << " hotspots\n";
+
+  // Train the Info-RNN-GAN on the small sample (one-hot hotspot id is
+  // the InfoGAN latent code).
+  predict::GanPredictorOptions gan_opt;
+  gan_opt.train_steps = 150;
+  auto gan = std::make_unique<predict::GanDemandPredictor>(
+      scenario.workload().requests, scenario.trace(), gan_opt,
+      scenario.algorithm_seed(10));
+  std::cout << "GAN trained: " << gan->model().generator_parameter_count()
+            << " generator parameters, "
+            << gan->model().discriminator_parameter_count()
+            << " discriminator parameters\n\n";
+
+  algorithms::OlOptions opt;
+  auto ol_gan = algorithms::make_ol_with_predictor(
+      "OL_GAN", scenario.problem(), std::move(gan), opt,
+      scenario.algorithm_seed(0));
+  auto ol_reg = algorithms::make_ol_reg(scenario.problem(), 5, opt,
+                                        scenario.algorithm_seed(1));
+
+  sim::RunResult r_gan = scenario.simulator().run(*ol_gan);
+  sim::RunResult r_reg = scenario.simulator().run(*ol_reg);
+
+  // Find the burstiest slot (highest total demand) and show the window
+  // around it.
+  std::size_t peak = 0;
+  double peak_demand = 0.0;
+  std::vector<double> total_demand(scenario.demands().horizon(), 0.0);
+  for (std::size_t t = 0; t < scenario.demands().horizon(); ++t) {
+    for (std::size_t l = 0; l < scenario.demands().num_requests(); ++l) {
+      total_demand[t] += scenario.demands().at(l, t);
+    }
+    if (total_demand[t] > peak_demand) {
+      peak_demand = total_demand[t];
+      peak = t;
+    }
+  }
+
+  common::Table window({"slot", "total demand", "OL_GAN delay (ms)",
+                        "OL_Reg delay (ms)"});
+  std::size_t lo = peak >= 3 ? peak - 3 : 0;
+  std::size_t hi = std::min(peak + 4, r_gan.slots.size());
+  for (std::size_t t = lo; t < hi; ++t) {
+    window.add_row_values({static_cast<double>(t), total_demand[t],
+                           r_gan.slots[t].avg_delay_ms,
+                           r_reg.slots[t].avg_delay_ms},
+                          1);
+  }
+  std::cout << "Window around the biggest burst (slot " << peak << "):\n"
+            << window.to_string();
+
+  common::Table summary({"algorithm", "mean delay (ms)",
+                         "decision time (ms/slot)"});
+  summary.add_row({"OL_GAN", common::fmt(r_gan.mean_delay_ms(), 2),
+                   common::fmt(r_gan.mean_decision_time_ms(), 2)});
+  summary.add_row({"OL_Reg", common::fmt(r_reg.mean_delay_ms(), 2),
+                   common::fmt(r_reg.mean_decision_time_ms(), 2)});
+  std::cout << "\n" << summary.to_string();
+  std::cout << "\nThe GAN-guided predictor anticipates hotspot-wide bursts "
+               "that the per-request ARMA smoother averages away.\n";
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/bin/bash
+# Sequential driver for the remaining bench groups (each prints to its
+# own file; cat together at the end).
+set -u
+run() {
+  local name=$1; shift
+  echo "===== $name =====" 
+  "$@"
+  echo
+}
+{
+  run bench_regret env MECSC_TOPOLOGIES=3 ./build/bench/bench_regret
+  run bench_ablation_gamma env MECSC_TOPOLOGIES=3 MECSC_SLOTS=100 ./build/bench/bench_ablation_gamma
+} > results/groupD.txt 2>&1
+echo "D done"
+{
+  run bench_ablation_epsilon env MECSC_TOPOLOGIES=3 MECSC_SLOTS=120 ./build/bench/bench_ablation_epsilon
+  run bench_ablation_ucb env MECSC_TOPOLOGIES=3 MECSC_SLOTS=120 ./build/bench/bench_ablation_ucb
+} > results/groupE.txt 2>&1
+echo "E done"
+{
+  run bench_predictors env MECSC_TOPOLOGIES=3 ./build/bench/bench_predictors
+  run bench_lp_vs_flow ./build/bench/bench_lp_vs_flow
+  run bench_ablation_instantiation env MECSC_TOPOLOGIES=3 MECSC_SLOTS=100 ./build/bench/bench_ablation_instantiation
+} > results/groupF.txt 2>&1
+echo "F done"
+{
+  run bench_ablation_mobility env MECSC_TOPOLOGIES=3 MECSC_SLOTS=100 ./build/bench/bench_ablation_mobility
+  run bench_ablation_rnn env MECSC_TOPOLOGIES=3 MECSC_GAN_STEPS=400 ./build/bench/bench_ablation_rnn
+} > results/groupG.txt 2>&1
+echo "G done"

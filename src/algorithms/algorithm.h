@@ -1,0 +1,38 @@
+#ifndef MECSC_ALGORITHMS_ALGORITHM_H
+#define MECSC_ALGORITHMS_ALGORITHM_H
+
+#include <string>
+#include <vector>
+
+#include "core/assignment.h"
+
+namespace mecsc::algorithms {
+
+/// A per-slot service-caching / task-offloading policy.
+///
+/// Protocol per slot t (driven by sim::Simulator):
+///  1. decide(t) returns the caching + assignment decision. What the
+///     policy knows about demands is its own business: the *_GD
+///     algorithms read the given demand matrix, OL_Reg/OL_GAN consult
+///     their predictor.
+///  2. The simulator realises the slot (true demands, true unit delays)
+///     and scores the decision.
+///  3. observe(t, ...) reveals the slot's ground truth. Implementations
+///     honouring the bandit feedback model must only use the unit delays
+///     of stations they actually played (Algorithm 1 line 10-11).
+class CachingAlgorithm {
+ public:
+  virtual ~CachingAlgorithm() = default;
+
+  virtual std::string name() const = 0;
+
+  virtual core::Assignment decide(std::size_t t) = 0;
+
+  virtual void observe(std::size_t t, const core::Assignment& decision,
+                       const std::vector<double>& true_demands,
+                       const std::vector<double>& realized_unit_delays) = 0;
+};
+
+}  // namespace mecsc::algorithms
+
+#endif  // MECSC_ALGORITHMS_ALGORITHM_H

@@ -1,0 +1,187 @@
+#include "algorithms/baselines.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace mecsc::algorithms {
+
+HistoricalBaseline::HistoricalBaseline(std::string name,
+                                       const core::CachingProblem& problem,
+                                       const workload::DemandMatrix* demands,
+                                       std::vector<double> historical_estimates,
+                                       bool refine_with_observations)
+    : name_(std::move(name)),
+      problem_(&problem),
+      demands_(demands),
+      theta_hist_(std::move(historical_estimates)),
+      observations_(problem.num_stations(), 0),
+      refine_(refine_with_observations) {
+  MECSC_CHECK_MSG(demands_ != nullptr, "null demand matrix");
+  MECSC_CHECK_MSG(demands_->num_requests() == problem.num_requests(),
+                  "demand matrix / problem size mismatch");
+  MECSC_CHECK_MSG(theta_hist_.size() == problem.num_stations(),
+                  "one historical estimate per station required");
+  for (double v : theta_hist_) MECSC_CHECK_MSG(v >= 0.0, "negative estimate");
+}
+
+void HistoricalBaseline::observe(std::size_t, const core::Assignment& decision,
+                                 const std::vector<double>&,
+                                 const std::vector<double>& realized_unit_delays) {
+  if (!refine_) return;  // pure historical information (paper default)
+  // Passive averaging over the stations actually used — no exploration.
+  std::unordered_set<std::size_t> played(decision.station_of_request.begin(),
+                                         decision.station_of_request.end());
+  for (std::size_t i : played) {
+    std::size_t m = ++observations_[i];
+    theta_hist_[i] += (realized_unit_delays[i] - theta_hist_[i]) /
+                      static_cast<double>(m + 1);  // prior counts as one sample
+  }
+}
+
+GreedyPerStation::GreedyPerStation(const core::CachingProblem& problem,
+                                   const workload::DemandMatrix* demands,
+                                   std::vector<double> historical_estimates)
+    : HistoricalBaseline("Greedy_GD", problem, demands,
+                         std::move(historical_estimates)) {}
+
+core::Assignment GreedyPerStation::decide(std::size_t t) {
+  MECSC_CHECK_MSG(t < demands().horizon(), "slot beyond demand horizon");
+  const core::CachingProblem& p = problem();
+  std::vector<double> rho = demands().slot(t);
+  const std::size_t ns = p.num_stations();
+  const std::size_t nr = p.num_requests();
+
+  std::vector<double> load(ns, 0.0);
+  std::vector<double> cap(ns);
+  for (std::size_t i = 0; i < ns; ++i) cap[i] = p.topology().station(i).capacity_mhz;
+  std::vector<std::vector<bool>> cached(p.num_services(),
+                                        std::vector<bool>(ns, false));
+
+  core::Assignment a;
+  a.station_of_request.assign(nr, ns);  // ns = unassigned marker
+  std::size_t assigned = 0;
+
+  // Round-robin claiming: each station in id order takes the unassigned
+  // request it serves with the lowest (historically estimated) delay, as
+  // long as the request fits. Stations act on local information only.
+  bool progress = true;
+  while (assigned < nr && progress) {
+    progress = false;
+    for (std::size_t i = 0; i < ns && assigned < nr; ++i) {
+      std::size_t best = nr;
+      double best_cost = std::numeric_limits<double>::infinity();
+      for (std::size_t l = 0; l < nr; ++l) {
+        if (a.station_of_request[l] != ns) continue;
+        if (load[i] + p.resource_demand_mhz(rho[l]) > cap[i]) continue;
+        std::size_t k = p.requests()[l].service_id;
+        double c = rho[l] * theta_hist(i) + p.access_latency_ms(l, i);
+        if (!cached[k][i]) c += p.instantiation_delay_ms(i, k);
+        if (c < best_cost) {
+          best_cost = c;
+          best = l;
+        }
+      }
+      if (best == nr) continue;
+      a.station_of_request[best] = i;
+      load[i] += p.resource_demand_mhz(rho[best]);
+      cached[p.requests()[best].service_id][i] = true;
+      ++assigned;
+      progress = true;
+    }
+  }
+  // Anything unplaceable (should not happen under the feasibility
+  // assumption) goes to the least-loaded station.
+  for (std::size_t l = 0; l < nr; ++l) {
+    if (a.station_of_request[l] != ns) continue;
+    std::size_t least = 0;
+    for (std::size_t i = 1; i < ns; ++i) {
+      if (load[i] < load[least]) least = i;
+    }
+    a.station_of_request[l] = least;
+    load[least] += p.resource_demand_mhz(rho[l]);
+  }
+  a.cached = core::derive_cached(p, a.station_of_request);
+  return a;
+}
+
+std::unique_ptr<CachingAlgorithm> make_greedy_gd(
+    const core::CachingProblem& problem, const workload::DemandMatrix& demands,
+    std::vector<double> historical_estimates) {
+  return std::make_unique<GreedyPerStation>(problem, &demands,
+                                            std::move(historical_estimates));
+}
+
+PriorityBaseline::PriorityBaseline(const core::CachingProblem& problem,
+                                   const workload::DemandMatrix* demands,
+                                   std::vector<double> historical_estimates)
+    : HistoricalBaseline("Pri_GD", problem, demands,
+                         std::move(historical_estimates)) {
+  priority_.reserve(problem.num_requests());
+  for (const auto& r : problem.requests()) {
+    priority_.push_back(problem.topology().stations_covering(r.x_m, r.y_m).size());
+  }
+}
+
+core::Assignment PriorityBaseline::decide(std::size_t t) {
+  MECSC_CHECK_MSG(t < demands().horizon(), "slot beyond demand horizon");
+  const core::CachingProblem& p = problem();
+  std::vector<double> rho = demands().slot(t);
+  const std::size_t ns = p.num_stations();
+  const std::size_t nr = p.num_requests();
+
+  std::vector<std::size_t> order(nr);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (priority_[a] != priority_[b]) return priority_[a] > priority_[b];
+    return rho[a] > rho[b];
+  });
+
+  std::vector<double> load(ns, 0.0);
+  std::vector<double> cap(ns);
+  for (std::size_t i = 0; i < ns; ++i) cap[i] = p.topology().station(i).capacity_mhz;
+  std::vector<std::vector<bool>> cached(p.num_services(),
+                                        std::vector<bool>(ns, false));
+
+  core::Assignment a;
+  a.station_of_request.assign(nr, 0);
+  for (std::size_t l : order) {
+    std::size_t k = p.requests()[l].service_id;
+    double res = p.resource_demand_mhz(rho[l]);
+    std::size_t best = ns;
+    double best_cost = std::numeric_limits<double>::infinity();
+    std::size_t fallback = 0;
+    double fallback_load = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < ns; ++i) {
+      if (load[i] < fallback_load) {
+        fallback_load = load[i];
+        fallback = i;
+      }
+      if (load[i] + res > cap[i]) continue;
+      double c = rho[l] * theta_hist(i) + p.access_latency_ms(l, i);
+      if (!cached[k][i]) c += p.instantiation_delay_ms(i, k);
+      if (c < best_cost) {
+        best_cost = c;
+        best = i;
+      }
+    }
+    if (best == ns) best = fallback;
+    a.station_of_request[l] = best;
+    load[best] += res;
+    cached[k][best] = true;
+  }
+  a.cached = core::derive_cached(p, a.station_of_request);
+  return a;
+}
+
+std::unique_ptr<CachingAlgorithm> make_pri_gd(
+    const core::CachingProblem& problem, const workload::DemandMatrix& demands,
+    std::vector<double> historical_estimates) {
+  return std::make_unique<PriorityBaseline>(problem, &demands,
+                                            std::move(historical_estimates));
+}
+
+}  // namespace mecsc::algorithms

@@ -1,0 +1,92 @@
+#ifndef MECSC_ALGORITHMS_BASELINES_H
+#define MECSC_ALGORITHMS_BASELINES_H
+
+#include <memory>
+#include <vector>
+
+#include "algorithms/algorithm.h"
+#include "core/problem.h"
+#include "net/topology.h"
+#include "workload/demand_model.h"
+
+namespace mecsc::algorithms {
+
+/// Shared machinery of the paper's non-learning baselines: both decide
+/// from *historical* delay estimates — stale past measurements of each
+/// station's delay (the "historical information of processing
+/// latencies" §VI credits them with; sim::Scenario materialises them as
+/// one past draw of each station's delay process) — passively refined
+/// with the delays of stations they happen to use. No exploration, so a
+/// station mis-ranked by its stale sample and never used stays
+/// mis-ranked forever; that is precisely the failure mode the paper's
+/// online learner fixes.
+class HistoricalBaseline : public CachingAlgorithm {
+ public:
+  /// `refine_with_observations` lets the baseline average observed delays
+  /// of the stations it uses into its estimates. The paper's text gives
+  /// the baselines historical information only, so the default is off;
+  /// the flag exists for sensitivity studies.
+  HistoricalBaseline(std::string name, const core::CachingProblem& problem,
+                     const workload::DemandMatrix* demands,
+                     std::vector<double> historical_estimates,
+                     bool refine_with_observations = false);
+
+  std::string name() const override { return name_; }
+  void observe(std::size_t t, const core::Assignment& decision,
+               const std::vector<double>& true_demands,
+               const std::vector<double>& realized_unit_delays) override;
+
+ protected:
+  const core::CachingProblem& problem() const noexcept { return *problem_; }
+  const workload::DemandMatrix& demands() const noexcept { return *demands_; }
+  double theta_hist(std::size_t station) const { return theta_hist_.at(station); }
+
+ private:
+  std::string name_;
+  const core::CachingProblem* problem_;
+  const workload::DemandMatrix* demands_;
+  std::vector<double> theta_hist_;        // historical delay estimate
+  std::vector<std::size_t> observations_;
+  bool refine_;
+};
+
+/// Greedy_GD ("each base station greedily selects a service and its
+/// tasks that could minimize the delay of each request", §VI): stations
+/// claim requests round-robin in station order — each station with spare
+/// capacity takes the unassigned request it can serve with the lowest
+/// delay. The claiming is uncoordinated across stations, which is why
+/// this baseline trails Pri_GD in the paper's figures.
+class GreedyPerStation final : public HistoricalBaseline {
+ public:
+  GreedyPerStation(const core::CachingProblem& problem,
+                   const workload::DemandMatrix* demands,
+                   std::vector<double> historical_estimates);
+  core::Assignment decide(std::size_t t) override;
+};
+
+std::unique_ptr<CachingAlgorithm> make_greedy_gd(
+    const core::CachingProblem& problem, const workload::DemandMatrix& demands,
+    std::vector<double> historical_estimates);
+
+/// Pri_GD (priority-driven caching of Xie et al., MASS'18): a request's
+/// priority is the number of base stations whose coverage disk contains
+/// the user; high-priority requests pick their globally best (estimated)
+/// station first.
+class PriorityBaseline final : public HistoricalBaseline {
+ public:
+  PriorityBaseline(const core::CachingProblem& problem,
+                   const workload::DemandMatrix* demands,
+                   std::vector<double> historical_estimates);
+  core::Assignment decide(std::size_t t) override;
+
+ private:
+  std::vector<std::size_t> priority_;  // per request
+};
+
+std::unique_ptr<CachingAlgorithm> make_pri_gd(
+    const core::CachingProblem& problem, const workload::DemandMatrix& demands,
+    std::vector<double> historical_estimates);
+
+}  // namespace mecsc::algorithms
+
+#endif  // MECSC_ALGORITHMS_BASELINES_H

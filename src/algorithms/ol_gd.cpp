@@ -1,0 +1,136 @@
+#include "algorithms/ol_gd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.h"
+#include "core/lp_formulation.h"
+#include "lp/simplex.h"
+#include "net/base_station.h"
+
+namespace mecsc::algorithms {
+
+namespace {
+
+core::BanditState make_bandit(const core::CachingProblem& problem,
+                              const OlOptions& options) {
+  if (!options.tier_priors) {
+    return core::BanditState(problem.num_stations(), options.theta_prior);
+  }
+  std::vector<double> priors;
+  priors.reserve(problem.num_stations());
+  for (const auto& bs : problem.topology().stations()) {
+    net::TierProfile tp = net::tier_profile(bs.tier);
+    priors.push_back(0.5 * (tp.delay_lo_ms + tp.delay_hi_ms));
+  }
+  return core::BanditState(std::move(priors));
+}
+
+}  // namespace
+
+OnlineCachingAlgorithm::OnlineCachingAlgorithm(std::string name,
+                                               const core::CachingProblem& problem,
+                                               const workload::DemandMatrix* given_demands,
+                                               OlOptions options, std::uint64_t seed)
+    : name_(std::move(name)),
+      problem_(&problem),
+      given_demands_(given_demands),
+      options_(options),
+      solver_(problem),
+      bandit_(make_bandit(problem, options)),
+      rng_(seed) {
+  MECSC_CHECK_MSG(given_demands_ != nullptr, "null demand matrix");
+  MECSC_CHECK_MSG(given_demands_->num_requests() == problem.num_requests(),
+                  "demand matrix / problem size mismatch");
+}
+
+OnlineCachingAlgorithm::OnlineCachingAlgorithm(
+    std::string name, const core::CachingProblem& problem,
+    std::unique_ptr<predict::DemandPredictor> predictor, OlOptions options,
+    std::uint64_t seed)
+    : name_(std::move(name)),
+      problem_(&problem),
+      given_demands_(nullptr),
+      predictor_(std::move(predictor)),
+      options_(options),
+      solver_(problem),
+      bandit_(make_bandit(problem, options)),
+      rng_(seed) {
+  MECSC_CHECK_MSG(predictor_ != nullptr, "null predictor");
+}
+
+std::vector<double> OnlineCachingAlgorithm::demands_for(std::size_t t) {
+  if (given_demands_ != nullptr) {
+    MECSC_CHECK_MSG(t < given_demands_->horizon(), "slot beyond demand horizon");
+    return given_demands_->slot(t);
+  }
+  return predictor_->predict(t);
+}
+
+core::Assignment OnlineCachingAlgorithm::decide(std::size_t t) {
+  last_demands_ = demands_for(t);
+  std::vector<double> theta = bandit_.thetas();
+  if (options_.ucb_beta > 0.0) {
+    double log_t = std::log(static_cast<double>(t + 2));
+    for (std::size_t i = 0; i < theta.size(); ++i) {
+      double m = static_cast<double>(std::max<std::size_t>(bandit_.plays(i), 1));
+      theta[i] = std::max(0.0, theta[i] - options_.ucb_beta * std::sqrt(log_t / m));
+    }
+  }
+
+  core::FractionalSolution frac;
+  if (options_.use_exact_lp) {
+    core::LpFormulation lp(*problem_, last_demands_, theta);
+    frac = lp.solve(lp::SimplexSolver());
+  } else {
+    frac = solver_.solve(last_demands_, theta);
+  }
+
+  core::RoundingOptions ropt;
+  ropt.gamma = options_.gamma;
+  ropt.epsilon = options_.epsilon.at(t);
+  ropt.per_slot_coin = options_.per_slot_coin;
+  return core::round_assignment(*problem_, frac, last_demands_, theta, ropt, rng_);
+}
+
+void OnlineCachingAlgorithm::observe(std::size_t t, const core::Assignment& decision,
+                                     const std::vector<double>& true_demands,
+                                     const std::vector<double>& realized_unit_delays) {
+  MECSC_CHECK(realized_unit_delays.size() == problem_->num_stations());
+  // Bandit feedback (Algorithm 1 lines 10-11): only stations that served
+  // at least one request reveal their delay this slot.
+  std::unordered_set<std::size_t> played(decision.station_of_request.begin(),
+                                         decision.station_of_request.end());
+  for (std::size_t i : played) bandit_.observe(i, realized_unit_delays[i]);
+  if (predictor_) predictor_->observe(t, true_demands);
+}
+
+std::unique_ptr<CachingAlgorithm> make_ol_gd(const core::CachingProblem& problem,
+                                             const workload::DemandMatrix& demands,
+                                             OlOptions options, std::uint64_t seed) {
+  return std::make_unique<OnlineCachingAlgorithm>("OL_GD", problem, &demands,
+                                                  options, seed);
+}
+
+std::unique_ptr<CachingAlgorithm> make_ol_reg(const core::CachingProblem& problem,
+                                              std::size_t arma_order,
+                                              OlOptions options, std::uint64_t seed) {
+  std::vector<double> fallback;
+  fallback.reserve(problem.num_requests());
+  for (const auto& r : problem.requests()) fallback.push_back(r.basic_demand);
+  auto predictor = std::make_unique<predict::ArmaPredictor>(arma_order,
+                                                            std::move(fallback));
+  return std::make_unique<OnlineCachingAlgorithm>("OL_Reg", problem,
+                                                  std::move(predictor), options, seed);
+}
+
+std::unique_ptr<CachingAlgorithm> make_ol_with_predictor(
+    std::string name, const core::CachingProblem& problem,
+    std::unique_ptr<predict::DemandPredictor> predictor, OlOptions options,
+    std::uint64_t seed) {
+  return std::make_unique<OnlineCachingAlgorithm>(std::move(name), problem,
+                                                  std::move(predictor), options, seed);
+}
+
+}  // namespace mecsc::algorithms

@@ -1,0 +1,115 @@
+#ifndef MECSC_ALGORITHMS_OL_GD_H
+#define MECSC_ALGORITHMS_OL_GD_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithm.h"
+#include "core/bandit.h"
+#include "core/fractional_solver.h"
+#include "core/problem.h"
+#include "core/rounding.h"
+#include "predict/predictor.h"
+#include "workload/demand_model.h"
+
+namespace mecsc::algorithms {
+
+/// Options of the online-learning engine.
+struct OlOptions {
+  /// Candidate threshold γ of Eq. 9.
+  double gamma = 0.25;
+  /// Exploration schedule. Algorithm 1's pseudocode (line 2) fixes
+  /// ε = 1/4, but the regret analysis (Theorem 1) assumes the ε_t = c/t
+  /// decay — a fixed ε pays a constant per-slot exploration tax forever
+  /// and cannot converge to the optimum, so the analysed decay is the
+  /// library default; `bench_ablation_epsilon` compares both.
+  core::EpsilonSchedule epsilon = core::EpsilonSchedule::decay(0.5);
+  /// Seed each arm's prior θ with its tier's delay-range midpoint
+  /// (station tiers are public infrastructure knowledge — the same
+  /// information the historical baselines' stale measurements embody).
+  /// When false, every arm gets the flat `theta_prior`.
+  bool tier_priors = true;
+  /// Flat prior θ for unplayed arms when `tier_priors` is off. The paper
+  /// assumes d_min/d_max known; the midpoint is the natural value.
+  double theta_prior = 25.0;
+  /// One exploration coin per slot (Algorithm 1 verbatim) instead of one
+  /// per request (library default; see RoundingOptions::per_slot_coin).
+  bool per_slot_coin = false;
+  /// Solve the per-slot LP exactly with the dense simplex instead of the
+  /// flow-based solver (small instances / ablations only).
+  bool use_exact_lp = false;
+  /// Optimism-in-the-face-of-uncertainty extension: when > 0, the LP is
+  /// solved with the lower confidence bound
+  ///     θ̃_i = max(0, θ_i − β·sqrt(ln(t+1) / m_i))
+  /// instead of the empirical mean (unplayed arms use m_i = 1), which
+  /// makes rarely-played stations look attractive and replaces explicit
+  /// ε-exploration — the classical UCB1 counterpart for a minimisation
+  /// bandit. Combine with EpsilonSchedule::zero() for pure UCB.
+  double ucb_beta = 0.0;
+};
+
+/// The paper's online learning algorithm (Algorithm 1, OL_GD) and its
+/// prediction-driven variants (Algorithm 2): per slot,
+///  1. obtain demands — given (OL_GD) or predicted (OL_Reg / OL_GAN);
+///  2. solve the LP relaxation of Eq. 3 under the bandit estimates θ;
+///  3. build candidate sets BS_l^candi = {i | x*_li >= γ};
+///  4. ε-greedy randomized rounding (exploit candidates ∝ x*, explore
+///     random non-candidates);
+///  5. at slot end, observe d_i(t) for every station that served a
+///     request and update its empirical mean θ_i.
+class OnlineCachingAlgorithm final : public CachingAlgorithm {
+ public:
+  /// Given-demand variant (OL_GD): reads demands from the matrix.
+  OnlineCachingAlgorithm(std::string name, const core::CachingProblem& problem,
+                         const workload::DemandMatrix* given_demands,
+                         OlOptions options, std::uint64_t seed);
+
+  /// Prediction variant (OL_Reg with an ArmaPredictor, OL_GAN with a
+  /// GanDemandPredictor). Takes ownership of the predictor.
+  OnlineCachingAlgorithm(std::string name, const core::CachingProblem& problem,
+                         std::unique_ptr<predict::DemandPredictor> predictor,
+                         OlOptions options, std::uint64_t seed);
+
+  std::string name() const override { return name_; }
+  core::Assignment decide(std::size_t t) override;
+  void observe(std::size_t t, const core::Assignment& decision,
+               const std::vector<double>& true_demands,
+               const std::vector<double>& realized_unit_delays) override;
+
+  const core::BanditState& bandit() const noexcept { return bandit_; }
+  /// Demands used by the latest decide() (given or predicted) — exposed
+  /// for tests and prediction-accuracy accounting.
+  const std::vector<double>& last_demands() const noexcept { return last_demands_; }
+
+ private:
+  std::vector<double> demands_for(std::size_t t);
+
+  std::string name_;
+  const core::CachingProblem* problem_;
+  const workload::DemandMatrix* given_demands_;  // may be null
+  std::unique_ptr<predict::DemandPredictor> predictor_;  // may be null
+  OlOptions options_;
+  core::FractionalSolver solver_;
+  core::BanditState bandit_;
+  common::Rng rng_;
+  std::vector<double> last_demands_;
+};
+
+/// Factories matching the paper's algorithm names.
+std::unique_ptr<CachingAlgorithm> make_ol_gd(const core::CachingProblem& problem,
+                                             const workload::DemandMatrix& demands,
+                                             OlOptions options, std::uint64_t seed);
+
+std::unique_ptr<CachingAlgorithm> make_ol_reg(const core::CachingProblem& problem,
+                                              std::size_t arma_order,
+                                              OlOptions options, std::uint64_t seed);
+
+std::unique_ptr<CachingAlgorithm> make_ol_with_predictor(
+    std::string name, const core::CachingProblem& problem,
+    std::unique_ptr<predict::DemandPredictor> predictor, OlOptions options,
+    std::uint64_t seed);
+
+}  // namespace mecsc::algorithms
+
+#endif  // MECSC_ALGORITHMS_OL_GD_H

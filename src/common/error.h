@@ -1,0 +1,62 @@
+#ifndef MECSC_COMMON_ERROR_H
+#define MECSC_COMMON_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mecsc::common {
+
+/// Base class for all library errors.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// A caller violated a documented precondition (bad argument, bad state).
+class InvalidArgument : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A model turned out to have no feasible solution (e.g. total demand
+/// exceeds total capacity, or an LP is infeasible).
+class Infeasible : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A numerical routine failed to converge or detected unboundedness.
+class NumericalError : public Error {
+ public:
+  using Error::Error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+}  // namespace detail
+
+}  // namespace mecsc::common
+
+/// Precondition check that throws InvalidArgument with location info.
+#define MECSC_CHECK(expr)                                                     \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::mecsc::common::detail::throw_check_failure(#expr, __FILE__, __LINE__, \
+                                                   "");                       \
+  } while (false)
+
+#define MECSC_CHECK_MSG(expr, msg)                                            \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::mecsc::common::detail::throw_check_failure(#expr, __FILE__, __LINE__, \
+                                                   (msg));                    \
+  } while (false)
+
+#endif  // MECSC_COMMON_ERROR_H

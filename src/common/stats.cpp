@@ -1,0 +1,95 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mecsc::common {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  double na = static_cast<double>(n_);
+  double nb = static_cast<double>(other.n_);
+  double delta = other.mean_ - mean_;
+  double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::sample_variance() const noexcept {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+}
+
+void Histogram::add(double x) noexcept {
+  double f = (x - lo_) / (hi_ - lo_);
+  auto b = static_cast<std::ptrdiff_t>(f * static_cast<double>(counts_.size()));
+  b = std::clamp<std::ptrdiff_t>(b, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(b)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t b) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t b) const { return bin_lo(b + 1); }
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  auto target = static_cast<std::size_t>(q * static_cast<double>(total_));
+  std::size_t acc = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    acc += counts_[b];
+    if (acc > target) return 0.5 * (bin_lo(b) + bin_hi(b));
+  }
+  return hi_;
+}
+
+double mean_of(const std::vector<double>& v) noexcept {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double quantile_of(std::vector<double> v, double q) {
+  if (v.empty()) throw std::invalid_argument("quantile_of: empty input");
+  std::sort(v.begin(), v.end());
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(v.size() - 1);
+  auto i = static_cast<std::size_t>(pos);
+  double frac = pos - static_cast<double>(i);
+  if (i + 1 >= v.size()) return v.back();
+  return v[i] * (1.0 - frac) + v[i + 1] * frac;
+}
+
+}  // namespace mecsc::common

@@ -1,0 +1,30 @@
+#ifndef MECSC_COMMON_STOPWATCH_H
+#define MECSC_COMMON_STOPWATCH_H
+
+#include <chrono>
+
+namespace mecsc::common {
+
+/// Wall-clock stopwatch used for the running-time panels (Fig. 3(b),
+/// 4(b), 6(b)). Monotonic clock; restartable.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+  double elapsed_us() const { return elapsed_seconds() * 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mecsc::common
+
+#endif  // MECSC_COMMON_STOPWATCH_H

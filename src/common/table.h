@@ -1,0 +1,41 @@
+#ifndef MECSC_COMMON_TABLE_H
+#define MECSC_COMMON_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace mecsc::common {
+
+/// Simple aligned text table used by the benchmark harnesses to print the
+/// rows/series of each reproduced figure, plus a CSV emitter so results
+/// can be re-plotted.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void add_row_values(const std::vector<double>& values, int precision = 3);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t cols() const noexcept { return header_.size(); }
+
+  /// Renders an aligned, pipe-separated table.
+  std::string to_string() const;
+
+  /// Renders RFC-4180-ish CSV (values containing commas are quoted).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (helper for bench output).
+std::string fmt(double v, int precision = 3);
+
+}  // namespace mecsc::common
+
+#endif  // MECSC_COMMON_TABLE_H

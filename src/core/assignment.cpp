@@ -1,0 +1,92 @@
+#include "core/assignment.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mecsc::core {
+
+std::vector<std::vector<bool>> derive_cached(
+    const CachingProblem& problem,
+    const std::vector<std::size_t>& station_of_request) {
+  MECSC_CHECK(station_of_request.size() == problem.num_requests());
+  std::vector<std::vector<bool>> cached(
+      problem.num_services(), std::vector<bool>(problem.num_stations(), false));
+  for (std::size_t l = 0; l < station_of_request.size(); ++l) {
+    std::size_t i = station_of_request[l];
+    MECSC_CHECK(i < problem.num_stations());
+    cached[problem.requests()[l].service_id][i] = true;
+  }
+  return cached;
+}
+
+double realized_average_delay(const CachingProblem& problem, const Assignment& a,
+                              const std::vector<double>& demands,
+                              const std::vector<double>& unit_delays) {
+  const std::size_t nr = problem.num_requests();
+  MECSC_CHECK(a.station_of_request.size() == nr);
+  MECSC_CHECK(demands.size() == nr);
+  MECSC_CHECK(unit_delays.size() == problem.num_stations());
+  std::vector<double> load = station_loads(problem, a, demands);
+  std::vector<double> congestion(load.size(), 1.0);
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    double cap = problem.topology().station(i).capacity_mhz;
+    if (cap > 0.0 && load[i] > cap) congestion[i] = load[i] / cap;
+  }
+  double total = 0.0;
+  for (std::size_t l = 0; l < nr; ++l) {
+    std::size_t i = a.station_of_request[l];
+    total += problem.request_delay_ms(l, i, demands[l],
+                                      unit_delays[i] * congestion[i]);
+  }
+  for (std::size_t k = 0; k < a.cached.size(); ++k) {
+    for (std::size_t i = 0; i < a.cached[k].size(); ++i) {
+      if (a.cached[k][i]) total += problem.instantiation_delay_ms(i, k);
+    }
+  }
+  return total / static_cast<double>(nr);
+}
+
+double realized_average_delay_incremental(
+    const CachingProblem& problem, const Assignment& a,
+    const std::vector<std::vector<bool>>& prev_cached,
+    const std::vector<double>& demands, const std::vector<double>& unit_delays) {
+  double full = realized_average_delay(problem, a, demands, unit_delays);
+  if (prev_cached.empty()) return full;
+  MECSC_CHECK(prev_cached.size() == a.cached.size());
+  // Subtract the instantiation delays of instances that were already
+  // cached in the previous slot.
+  double reused = 0.0;
+  for (std::size_t k = 0; k < a.cached.size(); ++k) {
+    MECSC_CHECK(prev_cached[k].size() == a.cached[k].size());
+    for (std::size_t i = 0; i < a.cached[k].size(); ++i) {
+      if (a.cached[k][i] && prev_cached[k][i]) {
+        reused += problem.instantiation_delay_ms(i, k);
+      }
+    }
+  }
+  return full - reused / static_cast<double>(problem.num_requests());
+}
+
+std::vector<double> station_loads(const CachingProblem& problem, const Assignment& a,
+                                  const std::vector<double>& demands) {
+  MECSC_CHECK(a.station_of_request.size() == problem.num_requests());
+  MECSC_CHECK(demands.size() == problem.num_requests());
+  std::vector<double> load(problem.num_stations(), 0.0);
+  for (std::size_t l = 0; l < demands.size(); ++l) {
+    load[a.station_of_request[l]] += problem.resource_demand_mhz(demands[l]);
+  }
+  return load;
+}
+
+double capacity_violation(const CachingProblem& problem, const Assignment& a,
+                          const std::vector<double>& demands) {
+  std::vector<double> load = station_loads(problem, a, demands);
+  double violation = 0.0;
+  for (std::size_t i = 0; i < load.size(); ++i) {
+    violation += std::max(0.0, load[i] - problem.topology().station(i).capacity_mhz);
+  }
+  return violation;
+}
+
+}  // namespace mecsc::core

@@ -1,0 +1,59 @@
+#ifndef MECSC_CORE_ASSIGNMENT_H
+#define MECSC_CORE_ASSIGNMENT_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/problem.h"
+
+namespace mecsc::core {
+
+/// An integral per-slot decision: where each request is served, plus the
+/// implied caching set (y in the ILP).
+struct Assignment {
+  /// station_of_request[l] = station serving request l.
+  std::vector<std::size_t> station_of_request;
+  /// cached[k][i] = true iff an instance of service k is cached at
+  /// station i (derived: some request of k is assigned to i).
+  std::vector<std::vector<bool>> cached;
+};
+
+/// Derives the caching set from the request assignment.
+std::vector<std::vector<bool>> derive_cached(const CachingProblem& problem,
+                                             const std::vector<std::size_t>& station_of_request);
+
+/// Average per-request delay (ms) of an assignment under realised
+/// per-unit delays — the Eq. 3 objective evaluated ex post:
+/// (1/|R|) (Σ_l ρ_l·d_{i(l)}·c_{i(l)} + access_{l,i(l)} + Σ_{cached (k,i)} d_ins[i][k]),
+/// where c_i = max(1, load_i / C(bs_i)) is the station's congestion
+/// factor. The paper's d_i(t) "depends on ... the congestion level of
+/// bs_i" (§III.D); charging over-committed stations proportionally makes
+/// under-provisioning from demand under-prediction costly instead of
+/// free, which is the entire point of predicting bursts in time.
+double realized_average_delay(const CachingProblem& problem, const Assignment& a,
+                              const std::vector<double>& demands,
+                              const std::vector<double>& unit_delays);
+
+/// As `realized_average_delay`, but charges d_ins only for instances
+/// *newly* cached this slot (absent from `prev_cached`). Eq. 3 charges
+/// every cached instance every slot; in a running system a container is
+/// instantiated once and reused while it stays cached, so this
+/// accounting mode is the operational alternative the
+/// `bench_ablation_instantiation` ablation compares. An empty
+/// `prev_cached` means "nothing was cached" (slot 0).
+double realized_average_delay_incremental(
+    const CachingProblem& problem, const Assignment& a,
+    const std::vector<std::vector<bool>>& prev_cached,
+    const std::vector<double>& demands, const std::vector<double>& unit_delays);
+
+/// Per-station resource loads (MHz) of an assignment.
+std::vector<double> station_loads(const CachingProblem& problem, const Assignment& a,
+                                  const std::vector<double>& demands);
+
+/// Total capacity violation (MHz) across stations; 0 when feasible.
+double capacity_violation(const CachingProblem& problem, const Assignment& a,
+                          const std::vector<double>& demands);
+
+}  // namespace mecsc::core
+
+#endif  // MECSC_CORE_ASSIGNMENT_H

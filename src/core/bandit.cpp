@@ -1,0 +1,60 @@
+#include "core/bandit.h"
+
+#include <algorithm>
+
+namespace mecsc::core {
+
+BanditState::BanditState(std::size_t num_arms, double prior)
+    : theta_(num_arms, prior), plays_(num_arms, 0) {
+  MECSC_CHECK_MSG(num_arms > 0, "need at least one arm");
+  MECSC_CHECK_MSG(prior >= 0.0, "prior delay must be non-negative");
+}
+
+BanditState::BanditState(std::vector<double> priors)
+    : theta_(std::move(priors)), plays_(theta_.size(), 0) {
+  MECSC_CHECK_MSG(!theta_.empty(), "need at least one arm");
+  for (double p : theta_) MECSC_CHECK_MSG(p >= 0.0, "prior delay must be non-negative");
+}
+
+void BanditState::observe(std::size_t arm, double delay) {
+  MECSC_CHECK(arm < theta_.size());
+  MECSC_CHECK_MSG(delay >= 0.0, "observed delay must be non-negative");
+  std::size_t m = ++plays_[arm];
+  if (m == 1) {
+    theta_[arm] = delay;  // drop the prior on first real observation
+  } else {
+    theta_[arm] += (delay - theta_[arm]) / static_cast<double>(m);
+  }
+  ++total_plays_;
+}
+
+double BanditState::theta(std::size_t arm) const {
+  MECSC_CHECK(arm < theta_.size());
+  return theta_[arm];
+}
+
+std::size_t BanditState::plays(std::size_t arm) const {
+  MECSC_CHECK(arm < plays_.size());
+  return plays_[arm];
+}
+
+std::vector<double> BanditState::thetas() const { return theta_; }
+
+double BanditState::coverage() const {
+  std::size_t played = 0;
+  for (std::size_t m : plays_) {
+    if (m > 0) ++played;
+  }
+  return static_cast<double>(played) / static_cast<double>(plays_.size());
+}
+
+double EpsilonSchedule::at(std::size_t t) const {
+  switch (kind_) {
+    case Kind::kFixed: return param_;
+    case Kind::kDecay: return std::min(1.0, param_ / static_cast<double>(t + 1));
+    case Kind::kZero: return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace mecsc::core

@@ -1,0 +1,87 @@
+#ifndef MECSC_CORE_BANDIT_H
+#define MECSC_CORE_BANDIT_H
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.h"
+
+namespace mecsc::core {
+
+/// Per-station bandit statistics of the MAB view (paper §IV.A): each
+/// base station is an arm; playing it (serving at least one request
+/// there) reveals its per-unit delay d_i(t); θ_i is the empirical mean
+/// of the observations and m_i the play count.
+class BanditState {
+ public:
+  /// `prior` seeds θ_i for arms never played. The paper assumes d_max
+  /// and d_min are known (Lemma 1), so the natural prior is their
+  /// midpoint; an *optimistic* prior (d_min) makes unexplored arms look
+  /// attractive — exposed for the exploration ablation.
+  BanditState(std::size_t num_arms, double prior);
+
+  /// Per-arm priors (e.g. the per-tier delay midpoints — base-station
+  /// tiers are public infrastructure knowledge, so seeding each arm with
+  /// its tier's range midpoint uses no more information than Lemma 1's
+  /// known global bounds).
+  explicit BanditState(std::vector<double> priors);
+
+  std::size_t num_arms() const noexcept { return theta_.size(); }
+
+  /// Records one observation of arm i's delay.
+  void observe(std::size_t arm, double delay);
+
+  /// Current estimate θ_i (prior when unplayed).
+  double theta(std::size_t arm) const;
+
+  /// Number of times arm i has been played, m_i.
+  std::size_t plays(std::size_t arm) const;
+
+  std::size_t total_plays() const noexcept { return total_plays_; }
+
+  /// All θ_i as a vector (the LP's delay coefficients).
+  std::vector<double> thetas() const;
+
+  /// Fraction of arms played at least once.
+  double coverage() const;
+
+ private:
+  std::vector<double> theta_;
+  std::vector<std::size_t> plays_;
+  std::size_t total_plays_ = 0;
+};
+
+/// ε exploration schedule of Algorithm 1. The paper's pseudocode fixes
+/// ε_t = 1/4 (line 2) while the regret analysis (Theorem 1) uses a c/t
+/// decay; both are provided, plus zero exploration for the ablation.
+class EpsilonSchedule {
+ public:
+  enum class Kind { kFixed, kDecay, kZero };
+
+  static EpsilonSchedule fixed(double epsilon) {
+    MECSC_CHECK_MSG(epsilon >= 0.0 && epsilon <= 1.0, "epsilon out of [0,1]");
+    return EpsilonSchedule(Kind::kFixed, epsilon);
+  }
+  /// ε_t = min(1, c / t) with slot t counted from 1 and 0 < c < 1 per
+  /// the analysis (values >= 1 are allowed for experimentation).
+  static EpsilonSchedule decay(double c) {
+    MECSC_CHECK_MSG(c > 0.0, "decay constant must be > 0");
+    return EpsilonSchedule(Kind::kDecay, c);
+  }
+  static EpsilonSchedule zero() { return EpsilonSchedule(Kind::kZero, 0.0); }
+
+  /// ε for slot t (0-based; the schedule uses t+1 internally).
+  double at(std::size_t t) const;
+
+  Kind kind() const noexcept { return kind_; }
+  double parameter() const noexcept { return param_; }
+
+ private:
+  EpsilonSchedule(Kind kind, double param) : kind_(kind), param_(param) {}
+  Kind kind_;
+  double param_;
+};
+
+}  // namespace mecsc::core
+
+#endif  // MECSC_CORE_BANDIT_H

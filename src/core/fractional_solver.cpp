@@ -1,0 +1,172 @@
+#include "core/fractional_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+#include "flow/min_cost_flow.h"
+
+namespace mecsc::core {
+
+FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
+                                           const std::vector<double>& theta) const {
+  const CachingProblem& p = *problem_;
+  const std::size_t nr = p.num_requests();
+  const std::size_t ns = p.num_stations();
+  const std::size_t nk = p.num_services();
+  MECSC_CHECK_MSG(demands.size() == nr, "demand vector size mismatch");
+  MECSC_CHECK_MSG(theta.size() == ns, "theta vector size mismatch");
+
+  // Expected resource demand per service (initial amortization base).
+  std::vector<double> service_demand_mhz(nk, 0.0);
+  double total_flow = 0.0;
+  for (std::size_t l = 0; l < nr; ++l) {
+    double res = p.resource_demand_mhz(demands[l]);
+    service_demand_mhz[p.requests()[l].service_id] += res;
+    total_flow += res;
+  }
+
+  // Successive approximation of the facility-location term: solve the
+  // transportation LP with instantiation delay amortized per unit of
+  // flow, then re-price each (service, station) instance by the demand
+  // it actually attracted (a thin instance gets an honest, high per-unit
+  // opening price next round), and keep the best solution under the true
+  // Eq. 3 objective. Three rounds close most of the gap to the exact LP
+  // (see tests/test_core.cpp and bench_lp_vs_flow).
+  constexpr std::size_t kRounds = 3;
+  // inst_base[k][i]: demand base used to amortize d_ins[i][k].
+  std::vector<std::vector<double>> inst_base(nk, std::vector<double>(ns, 0.0));
+  for (std::size_t k = 0; k < nk; ++k) {
+    for (std::size_t i = 0; i < ns; ++i) inst_base[k][i] = service_demand_mhz[k];
+  }
+
+  // Full bipartite arc set. (Pruning each request to its cheapest
+  // stations was tried and abandoned: under realistic congestion the
+  // cheap stations saturate and demand must spill to arbitrary ones, so
+  // a pruned network regularly fails to route; the dense-Dijkstra flow
+  // solver makes the full graph fast enough.)
+  std::vector<std::vector<std::size_t>> allowed(nr);
+  for (std::size_t l = 0; l < nr; ++l) {
+    allowed[l].resize(ns);
+    for (std::size_t i = 0; i < ns; ++i) allowed[l][i] = i;
+  }
+
+  FractionalSolution best;
+  double best_objective = std::numeric_limits<double>::infinity();
+
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    // Node layout: 0 = source, 1..nr = requests, nr+1..nr+ns = stations,
+    // nr+ns+1 = sink.
+    const std::size_t src = 0;
+    const std::size_t sink = nr + ns + 1;
+    flow::MinCostFlow mcf(nr + ns + 2);
+
+    // arc_id[l] maps positions in allowed[l] to edge ids.
+    std::vector<std::vector<std::size_t>> arc_id(nr);
+    for (std::size_t l = 0; l < nr; ++l) {
+      double res = p.resource_demand_mhz(demands[l]);
+      if (res <= 0.0) continue;  // handled after the flow solve
+      mcf.add_edge(src, 1 + l, res, 0.0);
+      arc_id[l].resize(allowed[l].size());
+      std::size_t k = p.requests()[l].service_id;
+      for (std::size_t j = 0; j < allowed[l].size(); ++j) {
+        std::size_t i = allowed[l][j];
+        // Amortize over whichever is larger: the base from the previous
+        // round or this request alone (never price below "I open the
+        // instance just for me").
+        double base = std::max(inst_base[k][i], res);
+        double amortized = p.instantiation_delay_ms(i, k) * res / base;
+        double total_cost =
+            demands[l] * (theta[i] + p.tx_unit_ms(l)) + p.access_latency_ms(l, i) +
+            amortized;
+        arc_id[l][j] = mcf.add_edge(1 + l, 1 + nr + i, res, total_cost / res);
+      }
+    }
+    for (std::size_t i = 0; i < ns; ++i) {
+      mcf.add_edge(1 + nr + i, sink, p.topology().station(i).capacity_mhz, 0.0);
+    }
+
+    flow::FlowResult fr = mcf.solve(src, sink, total_flow);
+    if (fr.flow < total_flow - 1e-6 * std::max(1.0, total_flow)) {
+      throw common::Infeasible(
+          "flow solver could not route all demand: capacity short");
+    }
+
+    FractionalSolution sol;
+    sol.x.assign(nr, std::vector<double>(ns, 0.0));
+    sol.y.assign(nk, std::vector<double>(ns, 0.0));
+    for (std::size_t l = 0; l < nr; ++l) {
+      double res = p.resource_demand_mhz(demands[l]);
+      if (res <= 0.0) {
+        // Zero-demand request: pin to its cheapest station (no capacity
+        // use, no instantiation pressure).
+        std::size_t best_i = 0;
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < ns; ++i) {
+          double c = p.access_latency_ms(l, i);
+          if (c < best_cost) {
+            best_cost = c;
+            best_i = i;
+          }
+        }
+        sol.x[l][best_i] = 1.0;
+        continue;
+      }
+      for (std::size_t j = 0; j < allowed[l].size(); ++j) {
+        sol.x[l][allowed[l][j]] =
+            std::clamp(mcf.edge_flow(arc_id[l][j]) / res, 0.0, 1.0);
+      }
+    }
+    // Re-price from realised per-instance demand for the next round.
+    std::vector<std::vector<double>> attracted(nk, std::vector<double>(ns, 0.0));
+    for (std::size_t l = 0; l < nr; ++l) {
+      std::size_t k = p.requests()[l].service_id;
+      double res = p.resource_demand_mhz(demands[l]);
+      for (std::size_t i = 0; i < ns; ++i) {
+        if (sol.x[l][i] <= 0.0) continue;
+        sol.y[k][i] = std::max(sol.y[k][i], sol.x[l][i]);
+        attracted[k][i] += sol.x[l][i] * res;
+      }
+    }
+    sol.objective = objective(sol, demands, theta);
+    bool improved = best.x.empty() ||
+                    sol.objective < best_objective - 1e-9 * (1.0 + sol.objective);
+    if (improved) {
+      best_objective = sol.objective;
+      best = sol;
+    } else if (round > 0) {
+      break;  // re-pricing converged (or started oscillating): stop early
+    }
+    inst_base = std::move(attracted);
+  }
+  return best;
+}
+
+double FractionalSolver::objective(const FractionalSolution& sol,
+                                   const std::vector<double>& demands,
+                                   const std::vector<double>& theta) const {
+  const CachingProblem& p = *problem_;
+  const std::size_t nr = p.num_requests();
+  const std::size_t ns = p.num_stations();
+  MECSC_CHECK(sol.x.size() == nr && demands.size() == nr && theta.size() == ns);
+  double total = 0.0;
+  for (std::size_t l = 0; l < nr; ++l) {
+    for (std::size_t i = 0; i < ns; ++i) {
+      double xli = sol.x[l][i];
+      if (xli <= 0.0) continue;
+      total += xli * (demands[l] * (theta[i] + p.tx_unit_ms(l)) +
+                      p.access_latency_ms(l, i));
+    }
+  }
+  for (std::size_t k = 0; k < p.num_services(); ++k) {
+    for (std::size_t i = 0; i < ns; ++i) {
+      double yki = sol.y[k][i];
+      if (yki <= 0.0) continue;
+      total += yki * p.instantiation_delay_ms(i, k);
+    }
+  }
+  return total / static_cast<double>(nr);
+}
+
+}  // namespace mecsc::core

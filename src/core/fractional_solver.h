@@ -1,0 +1,50 @@
+#ifndef MECSC_CORE_FRACTIONAL_SOLVER_H
+#define MECSC_CORE_FRACTIONAL_SOLVER_H
+
+#include <vector>
+
+#include "core/problem.h"
+
+namespace mecsc::core {
+
+/// Scalable solver for the per-slot LP relaxation, used inside OL_GD on
+/// every time slot (Algorithm 1 line 3-4 at network sizes where the
+/// dense simplex would be too slow).
+///
+/// Reduction (DESIGN.md §5): dropping the coupling constraint (6) turns
+/// the LP into a transportation problem — requests are sources with
+/// supply ρ_l·C_unit, stations are sinks with capacity C(bs_i), and the
+/// per-flow-unit cost on arc (l, i) is
+///
+///     (ρ_l·θ_i + access_li + amortized_inst_ik) / (ρ_l·C_unit)
+///
+/// where amortized_inst spreads d_ins[i][k] over the expected resource
+/// demand of service k. Min-cost flow solves this exactly; y is
+/// recovered as y_ki = max_{l: svc(l)=k} x_li and the reported objective
+/// is re-evaluated with the true (non-amortized) Eq. 3 cost, so the only
+/// approximation is in *where* flow is routed, not in how the solution
+/// is scored. The `bench_lp_vs_flow` ablation and tests/test_core.cpp
+/// quantify the gap against the exact simplex path (small: instantiation
+/// delays are second-order versus ρ·θ).
+class FractionalSolver {
+ public:
+  explicit FractionalSolver(const CachingProblem& problem) : problem_(&problem) {}
+
+  /// Solves for one slot; throws Infeasible when demand cannot be fully
+  /// routed. Zero-demand requests are pinned (x = 1) to their cheapest
+  /// station since they consume no capacity.
+  FractionalSolution solve(const std::vector<double>& demands,
+                           const std::vector<double>& theta) const;
+
+  /// Evaluates the exact Eq.-3 objective of a fractional solution
+  /// (average per-request delay, ms) with y_ki = max_l x_li.
+  double objective(const FractionalSolution& sol, const std::vector<double>& demands,
+                   const std::vector<double>& theta) const;
+
+ private:
+  const CachingProblem* problem_;
+};
+
+}  // namespace mecsc::core
+
+#endif  // MECSC_CORE_FRACTIONAL_SOLVER_H

@@ -1,0 +1,43 @@
+#ifndef MECSC_CORE_LP_FORMULATION_H
+#define MECSC_CORE_LP_FORMULATION_H
+
+#include <vector>
+
+#include "core/problem.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace mecsc::core {
+
+/// Builds and solves the paper's exact per-slot LP relaxation
+/// (Eq. 3 s.t. constraints 4-6, relaxed per Eq. 8) with the dense
+/// simplex. O(|R|·|BS|) variables and constraints, so this path is for
+/// small/medium instances, tests, and the `bench_lp_vs_flow` ablation;
+/// the scalable path is core::FractionalSolver.
+class LpFormulation {
+ public:
+  /// demands: ρ_l(t) per request; theta: estimated (or true) per-unit
+  /// delay per station.
+  LpFormulation(const CachingProblem& problem, const std::vector<double>& demands,
+                const std::vector<double>& theta);
+
+  const lp::Model& model() const noexcept { return model_; }
+
+  std::size_t x_var(std::size_t request, std::size_t station) const;
+  std::size_t y_var(std::size_t service, std::size_t station) const;
+
+  /// Solves the LP and unpacks x/y. Throws Infeasible when the LP has no
+  /// feasible point and NumericalError on iteration limit.
+  FractionalSolution solve(const lp::SimplexSolver& solver) const;
+
+ private:
+  const CachingProblem& problem_;
+  std::size_t num_requests_;
+  std::size_t num_stations_;
+  std::size_t num_services_;
+  lp::Model model_;
+};
+
+}  // namespace mecsc::core
+
+#endif  // MECSC_CORE_LP_FORMULATION_H

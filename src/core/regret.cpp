@@ -1,0 +1,58 @@
+#include "core/regret.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mecsc::core {
+
+namespace theory {
+
+double lemma1_sigma(std::size_t num_requests, double d_max, double d_min,
+                    double delta_ins, double gamma) {
+  MECSC_CHECK_MSG(num_requests > 0, "need at least one request");
+  MECSC_CHECK_MSG(d_max >= d_min && d_min >= 0.0, "need d_max >= d_min >= 0");
+  MECSC_CHECK_MSG(delta_ins >= 0.0, "negative instantiation spread");
+  MECSC_CHECK_MSG(gamma > 0.0 && gamma <= 1.0, "gamma out of (0,1]");
+  double r = static_cast<double>(num_requests);
+  double case1 = r * (d_max - gamma * d_min + delta_ins);
+  double case2 = r * gamma * (1.0 - std::exp(-2.0 * gamma * r * r)) + delta_ins;
+  return std::max(case1, case2);
+}
+
+double theorem1_bound(double sigma, std::size_t horizon, double c) {
+  MECSC_CHECK_MSG(sigma >= 0.0, "negative sigma");
+  MECSC_CHECK_MSG(c > 0.0 && c < 1.0, "Theorem 1 requires 0 < c < 1");
+  if (horizon < 2) return 0.0;
+  double arg = (static_cast<double>(horizon) - 1.0) / (std::exp(1.0 / c) + 1.0);
+  if (arg <= 1.0) return 0.0;
+  return sigma * std::log(arg);
+}
+
+}  // namespace theory
+
+RegretTracker::RegretTracker(const CachingProblem& problem)
+    : problem_(&problem), oracle_(problem) {}
+
+void RegretTracker::record(double realized_delay, const std::vector<double>& demands,
+                           const std::vector<double>& true_unit_delays) {
+  MECSC_CHECK_MSG(realized_delay >= 0.0, "negative realised delay");
+  FractionalSolution opt = oracle_.solve(demands, true_unit_delays);
+  double regret = std::max(0.0, realized_delay - opt.objective);
+  per_slot_optimum_.push_back(opt.objective);
+  per_slot_regret_.push_back(regret);
+  cumulative_ += regret;
+}
+
+std::vector<double> RegretTracker::cumulative_series() const {
+  std::vector<double> out(per_slot_regret_.size());
+  double acc = 0.0;
+  for (std::size_t t = 0; t < per_slot_regret_.size(); ++t) {
+    acc += per_slot_regret_[t];
+    out[t] = acc;
+  }
+  return out;
+}
+
+}  // namespace mecsc::core

@@ -1,0 +1,60 @@
+#ifndef MECSC_CORE_REGRET_H
+#define MECSC_CORE_REGRET_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/assignment.h"
+#include "core/fractional_solver.h"
+#include "core/problem.h"
+
+namespace mecsc::core {
+
+/// Closed forms of the paper's analysis (§IV.C).
+namespace theory {
+
+/// Lemma 1's gap σ between the optimal and the worst service caching:
+/// max{ |R|·(d_max − γ·d_min + Δ_ins),  |R|·γ·(1 − e^{−2γ|R|²}) + Δ_ins }.
+double lemma1_sigma(std::size_t num_requests, double d_max, double d_min,
+                    double delta_ins, double gamma);
+
+/// Theorem 1's regret bound σ·log((T−1)/(e^{1/c}+1)); returns 0 for
+/// horizons too short for the bound's log to be positive.
+double theorem1_bound(double sigma, std::size_t horizon, double c);
+
+}  // namespace theory
+
+/// Tracks the realised regret of an online run (Eq. 10): per slot, the
+/// realised average delay of the algorithm's decision minus the best
+/// average delay achievable in hindsight for that slot (computed with
+/// the *true* d_i(t) by the fractional solver — a lower bound on the
+/// integral optimum, so the reported regret is an upper estimate).
+class RegretTracker {
+ public:
+  explicit RegretTracker(const CachingProblem& problem);
+
+  /// Records one slot. `realized_delay` is the algorithm's realised
+  /// average delay; `demands` and `true_unit_delays` describe the slot's
+  /// ground truth.
+  void record(double realized_delay, const std::vector<double>& demands,
+              const std::vector<double>& true_unit_delays);
+
+  std::size_t slots() const noexcept { return per_slot_regret_.size(); }
+  double cumulative_regret() const noexcept { return cumulative_; }
+  const std::vector<double>& per_slot_regret() const noexcept { return per_slot_regret_; }
+  const std::vector<double>& per_slot_optimum() const noexcept { return per_slot_optimum_; }
+
+  /// Cumulative regret after each slot (prefix sums).
+  std::vector<double> cumulative_series() const;
+
+ private:
+  const CachingProblem* problem_;
+  FractionalSolver oracle_;
+  std::vector<double> per_slot_regret_;
+  std::vector<double> per_slot_optimum_;
+  double cumulative_ = 0.0;
+};
+
+}  // namespace mecsc::core
+
+#endif  // MECSC_CORE_REGRET_H

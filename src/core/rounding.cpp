@@ -1,0 +1,192 @@
+#include "core/rounding.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace mecsc::core {
+
+std::vector<std::vector<std::size_t>> candidate_sets(const FractionalSolution& frac,
+                                                     double gamma) {
+  MECSC_CHECK_MSG(gamma > 0.0 && gamma <= 1.0, "gamma out of (0,1]");
+  std::vector<std::vector<std::size_t>> candi(frac.x.size());
+  for (std::size_t l = 0; l < frac.x.size(); ++l) {
+    const auto& row = frac.x[l];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i] >= gamma) candi[l].push_back(i);
+    }
+    if (candi[l].empty()) {
+      std::size_t best =
+          static_cast<std::size_t>(std::max_element(row.begin(), row.end()) - row.begin());
+      candi[l].push_back(best);
+    }
+  }
+  return candi;
+}
+
+namespace {
+
+/// Samples a candidate station with probability proportional to x*.
+std::size_t sample_candidate(const std::vector<double>& x_row,
+                             const std::vector<std::size_t>& candidates,
+                             common::Rng& rng) {
+  std::vector<double> weights;
+  weights.reserve(candidates.size());
+  for (std::size_t i : candidates) weights.push_back(x_row[i]);
+  return candidates[rng.weighted_index(weights)];
+}
+
+/// Cost of serving request l at station i under estimate θ — the repair
+/// pass greedily minimizes this.
+double serve_cost(const CachingProblem& p, std::size_t l, std::size_t i,
+                  double rho, const std::vector<double>& theta) {
+  return rho * theta[i] + p.access_latency_ms(l, i);
+}
+
+}  // namespace
+
+Assignment round_assignment(const CachingProblem& problem,
+                            const FractionalSolution& frac,
+                            const std::vector<double>& demands,
+                            const std::vector<double>& theta,
+                            const RoundingOptions& options, common::Rng& rng) {
+  const std::size_t nr = problem.num_requests();
+  const std::size_t ns = problem.num_stations();
+  MECSC_CHECK(frac.x.size() == nr && demands.size() == nr && theta.size() == ns);
+  MECSC_CHECK_MSG(options.epsilon >= 0.0 && options.epsilon <= 1.0,
+                  "epsilon out of [0,1]");
+
+  auto candi = candidate_sets(frac, options.gamma);
+
+  Assignment a;
+  a.station_of_request.assign(nr, 0);
+
+  std::vector<bool> explored(nr, false);
+  bool slot_explores = options.per_slot_coin && rng.uniform() >= 1.0 - options.epsilon;
+  for (std::size_t l = 0; l < nr; ++l) {
+    bool explore = options.per_slot_coin
+                       ? slot_explores
+                       : rng.uniform() >= 1.0 - options.epsilon;
+    explored[l] = explore;
+    if (!explore) {
+      a.station_of_request[l] = sample_candidate(frac.x[l], candi[l], rng);
+      continue;
+    }
+    // Exploration: uniformly random station outside the candidate set
+    // (Algorithm 1 line 9); when every station is a candidate, fall back
+    // to a uniform station.
+    std::vector<std::size_t> others;
+    others.reserve(ns);
+    for (std::size_t i = 0; i < ns; ++i) {
+      if (std::find(candi[l].begin(), candi[l].end(), i) == candi[l].end()) {
+        others.push_back(i);
+      }
+    }
+    a.station_of_request[l] =
+        others.empty() ? rng.index(ns) : others[rng.index(others.size())];
+  }
+
+  // Capacity repair: rounding (and exploration) can overload a station
+  // even when the fractional solution is feasible. Move the overloaded
+  // stations' requests — least-committed (smallest x*) first — to the
+  // cheapest station with room.
+  std::vector<double> load(ns, 0.0);
+  std::vector<double> cap(ns);
+  for (std::size_t i = 0; i < ns; ++i) cap[i] = problem.topology().station(i).capacity_mhz;
+  for (std::size_t l = 0; l < nr; ++l) {
+    load[a.station_of_request[l]] += problem.resource_demand_mhz(demands[l]);
+  }
+  // Requests at each station, sorted by ascending fractional commitment.
+  for (std::size_t i = 0; i < ns; ++i) {
+    if (load[i] <= cap[i]) continue;
+    std::vector<std::size_t> here;
+    for (std::size_t l = 0; l < nr; ++l) {
+      if (a.station_of_request[l] == i) here.push_back(l);
+    }
+    std::sort(here.begin(), here.end(), [&](std::size_t a_l, std::size_t b_l) {
+      return frac.x[a_l][i] < frac.x[b_l][i];
+    });
+    for (std::size_t l : here) {
+      if (load[i] <= cap[i]) break;
+      double res = problem.resource_demand_mhz(demands[l]);
+      // Cheapest alternative with room; prefer candidates.
+      std::size_t best = ns;
+      double best_cost = std::numeric_limits<double>::infinity();
+      bool best_is_candidate = false;
+      for (std::size_t j = 0; j < ns; ++j) {
+        if (j == i || load[j] + res > cap[j]) continue;
+        bool is_candi = std::find(candi[l].begin(), candi[l].end(), j) != candi[l].end();
+        double c = serve_cost(problem, l, j, demands[l], theta);
+        if ((is_candi && !best_is_candidate) ||
+            (is_candi == best_is_candidate && c < best_cost)) {
+          best = j;
+          best_cost = c;
+          best_is_candidate = is_candi;
+        }
+      }
+      if (best == ns) continue;  // nowhere to move this one; try others
+      a.station_of_request[l] = best;
+      load[i] -= res;
+      load[best] += res;
+    }
+  }
+
+  // Local improvement on the exploit branch: randomized rounding leaves
+  // per-request variance, and independently sampled requests of one
+  // service can scatter across stations, each paying the instantiation
+  // delay. A 1-opt pass (moves restricted to each request's candidate
+  // set, capacity respected, instantiation sharing accounted) tightens
+  // the decision toward the fractional optimum without touching the
+  // exploration picks, which must stay random for the bandit feedback.
+  std::vector<std::vector<std::size_t>> users_of(problem.num_services() * ns);
+  auto cell = [ns](std::size_t k, std::size_t i) { return k * ns + i; };
+  for (std::size_t l = 0; l < nr; ++l) {
+    users_of[cell(problem.requests()[l].service_id, a.station_of_request[l])]
+        .push_back(l);
+  }
+  for (int pass = 0; pass < 2; ++pass) {
+    bool improved = false;
+    for (std::size_t l = 0; l < nr; ++l) {
+      if (explored[l]) continue;
+      std::size_t from = a.station_of_request[l];
+      std::size_t k = problem.requests()[l].service_id;
+      double res = problem.resource_demand_mhz(demands[l]);
+      double base_cost = serve_cost(problem, l, from, demands[l], theta);
+      // Leaving `from` saves its instantiation delay iff l is the last
+      // user of service k there.
+      double leave_saving = users_of[cell(k, from)].size() == 1
+                                ? problem.instantiation_delay_ms(from, k)
+                                : 0.0;
+      std::size_t best_to = from;
+      double best_delta = -1e-9;
+      for (std::size_t j : candi[l]) {
+        if (j == from || load[j] + res > cap[j]) continue;
+        double open_cost = users_of[cell(k, j)].empty()
+                               ? problem.instantiation_delay_ms(j, k)
+                               : 0.0;
+        double delta = serve_cost(problem, l, j, demands[l], theta) + open_cost -
+                       base_cost - leave_saving;
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_to = j;
+        }
+      }
+      if (best_to == from) continue;
+      auto& from_users = users_of[cell(k, from)];
+      from_users.erase(std::find(from_users.begin(), from_users.end(), l));
+      users_of[cell(k, best_to)].push_back(l);
+      load[from] -= res;
+      load[best_to] += res;
+      a.station_of_request[l] = best_to;
+      improved = true;
+    }
+    if (!improved) break;
+  }
+
+  a.cached = derive_cached(problem, a.station_of_request);
+  return a;
+}
+
+}  // namespace mecsc::core

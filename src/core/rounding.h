@@ -1,0 +1,53 @@
+#ifndef MECSC_CORE_ROUNDING_H
+#define MECSC_CORE_ROUNDING_H
+
+#include <vector>
+
+#include "common/rng.h"
+#include "core/assignment.h"
+#include "core/problem.h"
+
+namespace mecsc::core {
+
+/// Options of the ε-greedy randomized rounding of Algorithm 1.
+struct RoundingOptions {
+  /// Candidate threshold γ: BS_l^candi = {bs_i | x*_li >= γ} (Eq. 9).
+  double gamma = 0.25;
+  /// ε for this slot (the schedule lives with the caller).
+  double epsilon = 0.25;
+  /// Coin granularity. Algorithm 1's pseudocode draws one random number
+  /// per slot (all requests explore together); drawing one per request
+  /// explores a few arms every slot instead of all arms on rare slots
+  /// and is the library default — `bench_ablation_epsilon` compares both.
+  bool per_slot_coin = false;
+};
+
+/// Per-request candidate base stations (Eq. 9); a request whose
+/// fractional row never reaches γ falls back to its argmax station, so
+/// the set is never empty.
+std::vector<std::vector<std::size_t>> candidate_sets(const FractionalSolution& frac,
+                                                     double gamma);
+
+/// ε-greedy randomized rounding (Algorithm 1, lines 5-9) with a
+/// capacity-repair pass:
+///  * exploit: assign request l to a candidate station with probability
+///    proportional to x*_li;
+///  * explore: assign to a uniformly random non-candidate station (any
+///    station when every station is a candidate);
+///  * repair: while some station is overloaded, move the overloaded
+///    station's smallest-x* requests to the cheapest (per current θ)
+///    station with room;
+///  * improve: a 1-opt pass over the exploit-branch requests (moves
+///    restricted to their candidate sets, instantiation sharing
+///    accounted) removes the variance randomized rounding leaves behind.
+///    Exploration picks are never touched — they are the bandit plays.
+/// The result is capacity-feasible whenever the fractional solution was.
+Assignment round_assignment(const CachingProblem& problem,
+                            const FractionalSolution& frac,
+                            const std::vector<double>& demands,
+                            const std::vector<double>& theta,
+                            const RoundingOptions& options, common::Rng& rng);
+
+}  // namespace mecsc::core
+
+#endif  // MECSC_CORE_ROUNDING_H

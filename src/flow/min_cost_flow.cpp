@@ -1,0 +1,149 @@
+#include "flow/min_cost_flow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "common/error.h"
+
+namespace mecsc::flow {
+
+namespace {
+constexpr double kEps = 1e-9;
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+MinCostFlow::MinCostFlow(std::size_t num_nodes) : graph_(num_nodes) {}
+
+std::size_t MinCostFlow::add_edge(std::size_t from, std::size_t to,
+                                  double capacity, double cost) {
+  MECSC_CHECK_MSG(from < graph_.size() && to < graph_.size(),
+                  "edge endpoint out of range");
+  MECSC_CHECK_MSG(capacity >= 0.0, "negative capacity");
+  MECSC_CHECK_MSG(cost >= 0.0, "negative cost (Dijkstra requires cost >= 0)");
+  std::size_t id = initial_capacity_.size();
+  graph_[from].push_back(edges_.size());
+  edges_.push_back(Edge{to, edges_.size() + 1, capacity, cost});
+  graph_[to].push_back(edges_.size());
+  edges_.push_back(Edge{from, edges_.size() - 1, 0.0, -cost});
+  initial_capacity_.push_back(capacity);
+  return id;
+}
+
+FlowResult MinCostFlow::solve(std::size_t source, std::size_t sink,
+                              double max_flow) {
+  MECSC_CHECK(source < graph_.size() && sink < graph_.size());
+  MECSC_CHECK(source != sink);
+
+  const std::size_t n = graph_.size();
+  potential_.assign(n, 0.0);
+  std::vector<double> dist(n);
+  std::vector<std::size_t> prev_edge(n);
+  std::vector<bool> done(n);
+
+  FlowResult result;
+  double remaining = max_flow;
+
+  // Small node counts (the caching reduction has |R| + |BS| + 2 nodes)
+  // favour a dense O(V² + E) Dijkstra over a binary heap; the heap path
+  // remains for genuinely sparse/large graphs.
+  const bool dense = n <= kDenseThreshold;
+
+  while (remaining > kEps) {
+    // Dijkstra on reduced costs cost + pot[u] - pot[v] (non-negative).
+    std::fill(dist.begin(), dist.end(), kInf);
+    std::fill(done.begin(), done.end(), false);
+    dist[source] = 0.0;
+    if (dense) {
+      for (;;) {
+        std::size_t u = n;
+        double best = kInf;
+        for (std::size_t v = 0; v < n; ++v) {
+          if (!done[v] && dist[v] < best) {
+            best = dist[v];
+            u = v;
+          }
+        }
+        if (u == n) break;
+        done[u] = true;
+        if (u == sink) break;  // settled: shorter paths impossible
+        for (std::size_t ei : graph_[u]) {
+          const Edge& e = edges_[ei];
+          if (e.capacity <= kEps || done[e.to]) continue;
+          double nd = best + e.cost + potential_[u] - potential_[e.to];
+          if (nd < dist[e.to] - kEps) {
+            dist[e.to] = nd;
+            prev_edge[e.to] = ei;
+          }
+        }
+      }
+    } else {
+      using Item = std::pair<double, std::size_t>;
+      std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+      pq.emplace(0.0, source);
+      while (!pq.empty()) {
+        auto [d, u] = pq.top();
+        pq.pop();
+        if (done[u]) continue;
+        done[u] = true;
+        if (u == sink) break;
+        for (std::size_t ei : graph_[u]) {
+          const Edge& e = edges_[ei];
+          if (e.capacity <= kEps || done[e.to]) continue;
+          double nd = d + e.cost + potential_[u] - potential_[e.to];
+          if (nd < dist[e.to] - kEps) {
+            dist[e.to] = nd;
+            prev_edge[e.to] = ei;
+            pq.emplace(nd, e.to);
+          }
+        }
+      }
+    }
+    if (!done[sink]) break;  // no augmenting path: network saturated
+
+    // Truncated-Dijkstra potential update (Johnson): nodes not settled
+    // before the sink get the sink's distance, which keeps all reduced
+    // costs non-negative.
+    for (std::size_t v = 0; v < n; ++v) {
+      potential_[v] += std::min(dist[v], dist[sink]);
+    }
+
+    // Single-path augmentation along the sink's shortest-path tree
+    // branch. (A Dinic-style blocking-flow phase was tried and reverted:
+    // arc costs here are continuous reals, so shortest-path ties never
+    // happen and the per-phase admissible-graph BFS only added O(E)
+    // work. With the early sink exit above, each phase is cheap.)
+    double push = remaining;
+    for (std::size_t v = sink; v != source;) {
+      const Edge& e = edges_[prev_edge[v]];
+      push = std::min(push, e.capacity);
+      v = edges_[e.rev].to;
+    }
+    if (push <= kEps) break;  // numerical stall: treat as saturated
+    for (std::size_t v = sink; v != source;) {
+      Edge& e = edges_[prev_edge[v]];
+      e.capacity -= push;
+      edges_[e.rev].capacity += push;
+      v = edges_[e.rev].to;
+    }
+    result.flow += push;
+    ++result.augmentations;
+    remaining -= push;
+  }
+  // Exact cost from final edge flows.
+  for (std::size_t id = 0; id < initial_capacity_.size(); ++id) {
+    result.cost += edge_flow(id) * edges_[2 * id].cost;
+  }
+  return result;
+}
+
+double MinCostFlow::edge_flow(std::size_t edge_id) const {
+  MECSC_CHECK(edge_id < initial_capacity_.size());
+  // Forward edge 2*id has residual capacity = initial - flow.
+  const Edge& fwd = edges_[2 * edge_id];
+  double f = initial_capacity_[edge_id] - fwd.capacity;
+  return f < 0.0 ? 0.0 : f;
+}
+
+}  // namespace mecsc::flow

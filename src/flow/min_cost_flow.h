@@ -1,0 +1,68 @@
+#ifndef MECSC_FLOW_MIN_COST_FLOW_H
+#define MECSC_FLOW_MIN_COST_FLOW_H
+
+#include <cstddef>
+#include <vector>
+
+namespace mecsc::flow {
+
+/// Result of a min-cost-flow computation.
+struct FlowResult {
+  double flow = 0.0;  // total flow shipped from source to sink
+  double cost = 0.0;  // sum over edges of flow * cost
+  std::size_t augmentations = 0;  // shortest-path passes performed
+};
+
+/// Minimum-cost flow via successive shortest paths with Johnson
+/// potentials (Dijkstra on reduced costs).
+///
+/// Real-valued capacities and non-negative real costs; this is exactly
+/// what the transportation relaxation of the paper's caching LP needs
+/// (request demand -> base-station capacity arcs weighted by ρ_l * θ_i).
+/// With non-negative arc costs every shortest-path pass is Dijkstra, so
+/// the solver is O(F · E log V) where F is the number of augmenting
+/// passes (≤ number of distinct saturation events for real capacities).
+class MinCostFlow {
+ public:
+  explicit MinCostFlow(std::size_t num_nodes);
+
+  /// Adds a directed edge; returns an edge id usable with `edge_flow`.
+  /// Capacity must be >= 0 and cost must be >= 0 (required by Dijkstra;
+  /// the caching reduction only produces non-negative delays).
+  std::size_t add_edge(std::size_t from, std::size_t to, double capacity,
+                       double cost);
+
+  std::size_t num_nodes() const noexcept { return graph_.size(); }
+  std::size_t num_edges() const noexcept { return edges_.size() / 2; }
+
+  /// Sends up to `max_flow` units from `source` to `sink` at minimum
+  /// cost. May be called once per instance. Returns the flow actually
+  /// shipped (less than `max_flow` if the network saturates) and its
+  /// cost.
+  FlowResult solve(std::size_t source, std::size_t sink, double max_flow);
+
+  /// Flow on the edge returned by `add_edge` (valid after `solve`).
+  double edge_flow(std::size_t edge_id) const;
+
+  /// Node-count threshold below which each shortest-path pass uses a
+  /// dense O(V²+E) scan instead of a binary heap.
+  static constexpr std::size_t kDenseThreshold = 1500;
+
+ private:
+  struct Edge {
+    std::size_t to;
+    std::size_t rev;     // index of the reverse edge in edges_
+    double capacity;     // residual capacity
+    double cost;
+  };
+
+  // Edges are stored in one array; graph_[v] holds indices into edges_.
+  std::vector<Edge> edges_;
+  std::vector<std::vector<std::size_t>> graph_;
+  std::vector<double> initial_capacity_;  // per forward edge id
+  std::vector<double> potential_;         // Johnson potentials (during solve)
+};
+
+}  // namespace mecsc::flow
+
+#endif  // MECSC_FLOW_MIN_COST_FLOW_H

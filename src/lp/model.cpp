@@ -1,0 +1,63 @@
+#include "lp/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mecsc::lp {
+
+std::size_t Model::add_variable(double cost, std::string name) {
+  costs_.push_back(cost);
+  if (name.empty()) name = "x" + std::to_string(costs_.size() - 1);
+  var_names_.push_back(std::move(name));
+  return costs_.size() - 1;
+}
+
+std::size_t Model::add_constraint(Constraint c) {
+  for (auto& [var, coef] : c.terms) {
+    MECSC_CHECK_MSG(var < costs_.size(), "constraint references unknown variable");
+    (void)coef;
+  }
+  // Merge duplicate variable ids so the solver sees one column entry each.
+  std::sort(c.terms.begin(), c.terms.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<std::size_t, double>> merged;
+  for (const auto& [var, coef] : c.terms) {
+    if (!merged.empty() && merged.back().first == var) {
+      merged.back().second += coef;
+    } else {
+      merged.emplace_back(var, coef);
+    }
+  }
+  c.terms = std::move(merged);
+  constraints_.push_back(std::move(c));
+  return constraints_.size() - 1;
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  MECSC_CHECK(x.size() == costs_.size());
+  double v = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) v += costs_[i] * x[i];
+  return v;
+}
+
+double Model::max_violation(const std::vector<double>& x) const {
+  MECSC_CHECK(x.size() == costs_.size());
+  double worst = 0.0;
+  for (const auto& c : constraints_) {
+    double lhs = 0.0;
+    for (const auto& [var, coef] : c.terms) lhs += coef * x[var];
+    double v = 0.0;
+    switch (c.relation) {
+      case Relation::kLessEqual: v = lhs - c.rhs; break;
+      case Relation::kGreaterEqual: v = c.rhs - lhs; break;
+      case Relation::kEqual: v = std::abs(lhs - c.rhs); break;
+    }
+    worst = std::max(worst, v);
+  }
+  for (double xi : x) worst = std::max(worst, -xi);
+  return worst;
+}
+
+}  // namespace mecsc::lp

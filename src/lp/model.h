@@ -1,0 +1,61 @@
+#ifndef MECSC_LP_MODEL_H
+#define MECSC_LP_MODEL_H
+
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mecsc::lp {
+
+/// Relation of a linear constraint.
+enum class Relation { kLessEqual, kEqual, kGreaterEqual };
+
+/// One linear constraint: sum(coef_j * x_j) REL rhs.
+struct Constraint {
+  std::vector<std::pair<std::size_t, double>> terms;  // (variable id, coef)
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+  std::string name;
+};
+
+/// A linear program in the form
+///     minimize  c^T x
+///     subject to constraints,  x >= 0.
+///
+/// Variables are non-negative; upper bounds, when needed, are expressed as
+/// explicit constraints by the caller. This matches the structure of the
+/// paper's LP relaxation (Eq. 3 with constraints 4-6 and 8), where all
+/// variables are in [0, 1] and the unit upper bounds are implied by the
+/// assignment constraints.
+class Model {
+ public:
+  /// Adds a variable with the given objective coefficient; returns its id.
+  std::size_t add_variable(double cost, std::string name = {});
+
+  /// Adds a constraint; duplicate variable ids in `terms` are summed.
+  /// Returns the constraint's index.
+  std::size_t add_constraint(Constraint c);
+
+  std::size_t num_variables() const noexcept { return costs_.size(); }
+  std::size_t num_constraints() const noexcept { return constraints_.size(); }
+
+  double cost(std::size_t var) const { return costs_.at(var); }
+  const std::string& variable_name(std::size_t var) const { return var_names_.at(var); }
+  const Constraint& constraint(std::size_t i) const { return constraints_.at(i); }
+
+  /// Evaluates the objective at a point.
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Returns the largest constraint violation at a point (0 if feasible).
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<double> costs_;
+  std::vector<std::string> var_names_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace mecsc::lp
+
+#endif  // MECSC_LP_MODEL_H

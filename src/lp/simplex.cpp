@@ -1,0 +1,236 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mecsc::lp {
+namespace {
+
+/// Dense tableau state shared by the two phases.
+struct Tableau {
+  std::size_t m = 0;           // constraint rows
+  std::size_t cols = 0;        // total columns excluding rhs
+  std::size_t n_struct = 0;    // structural variables
+  std::size_t first_artificial = 0;
+  std::vector<std::vector<double>> a;  // m rows, cols+1 entries (rhs last)
+  std::vector<double> obj;             // cols+1 entries (reduced costs, -z)
+  std::vector<std::size_t> basis;      // basic column per row
+  std::vector<bool> blocked;           // columns barred from entering
+
+  double rhs(std::size_t i) const { return a[i][cols]; }
+};
+
+bool is_artificial(const Tableau& t, std::size_t col) {
+  return col >= t.first_artificial;
+}
+
+void pivot(Tableau& t, std::size_t row, std::size_t col, double eps) {
+  auto& pr = t.a[row];
+  double pv = pr[col];
+  for (auto& v : pr) v /= pv;
+  pr[col] = 1.0;  // kill round-off on the pivot element
+  for (std::size_t i = 0; i < t.m; ++i) {
+    if (i == row) continue;
+    double f = t.a[i][col];
+    if (std::abs(f) < eps) continue;
+    auto& ri = t.a[i];
+    for (std::size_t j = 0; j <= t.cols; ++j) ri[j] -= f * pr[j];
+    ri[col] = 0.0;
+  }
+  double f = t.obj[col];
+  if (std::abs(f) >= eps) {
+    for (std::size_t j = 0; j <= t.cols; ++j) t.obj[j] -= f * pr[j];
+    t.obj[col] = 0.0;
+  }
+  t.basis[row] = col;
+}
+
+/// Runs simplex iterations on the current objective row until optimal,
+/// unbounded, or the iteration budget is exhausted.
+SolveStatus iterate(Tableau& t, const SimplexOptions& opt,
+                    std::size_t& iterations, std::size_t max_iterations) {
+  std::size_t degenerate_streak = 0;
+  while (true) {
+    if (iterations >= max_iterations) return SolveStatus::kIterationLimit;
+    bool bland = degenerate_streak >= opt.bland_after;
+
+    // Entering column: most negative reduced cost (Dantzig), or the
+    // lowest-index negative column under Bland's anti-cycling rule.
+    std::size_t enter = t.cols;
+    double best = -opt.eps;
+    for (std::size_t j = 0; j < t.cols; ++j) {
+      if (t.blocked[j]) continue;
+      double rc = t.obj[j];
+      if (rc < best) {
+        enter = j;
+        if (bland) break;
+        best = rc;
+      }
+    }
+    if (enter == t.cols) return SolveStatus::kOptimal;
+
+    // Ratio test; ties broken by smallest basis index (Bland-compatible).
+    std::size_t leave = t.m;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < t.m; ++i) {
+      double aij = t.a[i][enter];
+      if (aij <= opt.eps) continue;
+      double ratio = t.rhs(i) / aij;
+      if (ratio < best_ratio - opt.eps ||
+          (ratio < best_ratio + opt.eps &&
+           (leave == t.m || t.basis[i] < t.basis[leave]))) {
+        best_ratio = std::min(best_ratio, ratio);
+        leave = i;
+      }
+    }
+    if (leave == t.m) return SolveStatus::kUnbounded;
+
+    degenerate_streak = best_ratio <= opt.eps ? degenerate_streak + 1 : 0;
+    pivot(t, leave, enter, opt.eps);
+    ++iterations;
+  }
+}
+
+/// Rebuilds the objective row (reduced costs) for the given column costs.
+void set_objective(Tableau& t, const std::vector<double>& col_cost) {
+  for (std::size_t j = 0; j <= t.cols; ++j) {
+    t.obj[j] = j < t.cols ? col_cost[j] : 0.0;
+  }
+  for (std::size_t i = 0; i < t.m; ++i) {
+    double cb = col_cost[t.basis[i]];
+    if (cb == 0.0) continue;
+    for (std::size_t j = 0; j <= t.cols; ++j) t.obj[j] -= cb * t.a[i][j];
+  }
+}
+
+}  // namespace
+
+Solution SimplexSolver::solve(const Model& model) const {
+  const std::size_t n = model.num_variables();
+  const std::size_t m = model.num_constraints();
+
+  Solution sol;
+  sol.x.assign(n, 0.0);
+  if (m == 0) {
+    // With x >= 0 and no constraints, any negative cost is unbounded.
+    for (std::size_t j = 0; j < n; ++j) {
+      if (model.cost(j) < -options_.eps) {
+        sol.status = SolveStatus::kUnbounded;
+        return sol;
+      }
+    }
+    sol.status = SolveStatus::kOptimal;
+    return sol;
+  }
+
+  // Count slack/surplus and artificial columns. Rows are normalised so
+  // rhs >= 0 (flipping the relation when multiplying by -1).
+  struct RowInfo {
+    double sign = 1.0;
+    Relation rel = Relation::kLessEqual;
+  };
+  std::vector<RowInfo> rows(m);
+  std::size_t n_slack = 0;
+  std::size_t n_artificial = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& c = model.constraint(i);
+    rows[i].rel = c.relation;
+    if (c.rhs < 0.0) {
+      rows[i].sign = -1.0;
+      if (c.relation == Relation::kLessEqual) rows[i].rel = Relation::kGreaterEqual;
+      else if (c.relation == Relation::kGreaterEqual) rows[i].rel = Relation::kLessEqual;
+    }
+    if (rows[i].rel != Relation::kEqual) ++n_slack;
+    if (rows[i].rel != Relation::kLessEqual) ++n_artificial;
+  }
+
+  Tableau t;
+  t.m = m;
+  t.n_struct = n;
+  t.first_artificial = n + n_slack;
+  t.cols = n + n_slack + n_artificial;
+  t.a.assign(m, std::vector<double>(t.cols + 1, 0.0));
+  t.obj.assign(t.cols + 1, 0.0);
+  t.basis.assign(m, 0);
+  t.blocked.assign(t.cols, false);
+
+  std::size_t slack_at = n;
+  std::size_t art_at = t.first_artificial;
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto& c = model.constraint(i);
+    auto& row = t.a[i];
+    for (const auto& [var, coef] : c.terms) row[var] = rows[i].sign * coef;
+    row[t.cols] = rows[i].sign * c.rhs;
+    switch (rows[i].rel) {
+      case Relation::kLessEqual:
+        row[slack_at] = 1.0;
+        t.basis[i] = slack_at++;
+        break;
+      case Relation::kGreaterEqual:
+        row[slack_at] = -1.0;
+        ++slack_at;
+        row[art_at] = 1.0;
+        t.basis[i] = art_at++;
+        break;
+      case Relation::kEqual:
+        row[art_at] = 1.0;
+        t.basis[i] = art_at++;
+        break;
+    }
+  }
+
+  std::size_t max_iter = options_.max_iterations;
+  if (max_iter == 0) max_iter = 50 * (m + t.cols);
+
+  // --- Phase 1: minimise the sum of artificial variables. ---
+  if (n_artificial > 0) {
+    std::vector<double> phase1_cost(t.cols, 0.0);
+    for (std::size_t j = t.first_artificial; j < t.cols; ++j) phase1_cost[j] = 1.0;
+    set_objective(t, phase1_cost);
+    SolveStatus st = iterate(t, options_, sol.iterations, max_iter);
+    if (st == SolveStatus::kIterationLimit) {
+      sol.status = st;
+      return sol;
+    }
+    // Phase-1 objective value is -obj[rhs].
+    double infeas = -t.obj[t.cols];
+    if (infeas > 1e-7) {
+      sol.status = SolveStatus::kInfeasible;
+      return sol;
+    }
+    // Drive any artificial still basic (at value 0) out of the basis, or
+    // accept it as a redundant row when no eligible pivot exists.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (!is_artificial(t, t.basis[i])) continue;
+      std::size_t enter = t.cols;
+      for (std::size_t j = 0; j < t.first_artificial; ++j) {
+        if (std::abs(t.a[i][j]) > 1e-7) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter != t.cols) pivot(t, i, enter, options_.eps);
+    }
+    for (std::size_t j = t.first_artificial; j < t.cols; ++j) t.blocked[j] = true;
+  }
+
+  // --- Phase 2: optimise the true objective. ---
+  std::vector<double> cost(t.cols, 0.0);
+  for (std::size_t j = 0; j < n; ++j) cost[j] = model.cost(j);
+  set_objective(t, cost);
+  SolveStatus st = iterate(t, options_, sol.iterations, max_iter);
+  if (st != SolveStatus::kOptimal) {
+    sol.status = st;
+    return sol;
+  }
+
+  for (std::size_t i = 0; i < m; ++i) {
+    if (t.basis[i] < n) sol.x[t.basis[i]] = std::max(0.0, t.rhs(i));
+  }
+  sol.objective = model.objective_value(sol.x);
+  sol.status = SolveStatus::kOptimal;
+  return sol;
+}
+
+}  // namespace mecsc::lp

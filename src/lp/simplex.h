@@ -1,0 +1,62 @@
+#ifndef MECSC_LP_SIMPLEX_H
+#define MECSC_LP_SIMPLEX_H
+
+#include <cstddef>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace mecsc::lp {
+
+/// Termination status of an LP solve.
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+/// Result of an LP solve. `x` is sized to the model's variable count and
+/// only meaningful when `status == kOptimal`.
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;
+  std::size_t iterations = 0;
+};
+
+/// Options for the simplex solver.
+struct SimplexOptions {
+  /// Pivot tolerance: entries smaller in magnitude are treated as zero.
+  double eps = 1e-9;
+  /// Hard cap on total pivots across both phases (0 = automatic:
+  /// 50 * (rows + cols)).
+  std::size_t max_iterations = 0;
+  /// After this many consecutive degenerate pivots the solver switches to
+  /// Bland's rule, which guarantees termination.
+  std::size_t bland_after = 64;
+};
+
+/// Dense two-phase primal simplex for `Model` (min c^T x, Ax {<=,=,>=} b,
+/// x >= 0).
+///
+/// Phase 1 minimises the sum of artificial variables to find a basic
+/// feasible solution; phase 2 optimises the true objective. Pivoting uses
+/// Dantzig's rule with an automatic switch to Bland's rule under
+/// degeneracy, so the solver terminates on every input.
+///
+/// This is the exact path for the paper's per-slot LP relaxation (Eq. 3
+/// s.t. 4-6, 8); the scalable flow-based path in `core::FractionalSolver`
+/// is validated against it in tests and in the `bench_lp_vs_flow`
+/// ablation. Dense tableau storage makes it suitable for models up to a
+/// few thousand rows/columns.
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(SimplexOptions options = {}) : options_(options) {}
+
+  /// Solves the model. Never throws on infeasible/unbounded input; those
+  /// are reported via `Solution::status`.
+  Solution solve(const Model& model) const;
+
+ private:
+  SimplexOptions options_;
+};
+
+}  // namespace mecsc::lp
+
+#endif  // MECSC_LP_SIMPLEX_H

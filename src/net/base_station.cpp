@@ -1,0 +1,34 @@
+#include "net/base_station.h"
+
+#include <cmath>
+
+namespace mecsc::net {
+
+const char* tier_name(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kMacro: return "macro";
+    case Tier::kMicro: return "micro";
+    case Tier::kFemto: return "femto";
+  }
+  return "unknown";
+}
+
+TierProfile tier_profile(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kMacro:
+      return {Tier::kMacro, 40.0, 100.0, 8000.0, 16000.0, 500.0, 1000.0, 30.0, 50.0};
+    case Tier::kMicro:
+      return {Tier::kMicro, 5.0, 30.0, 5000.0, 10000.0, 200.0, 500.0, 10.0, 20.0};
+    case Tier::kFemto:
+    default:
+      return {Tier::kFemto, 0.1, 15.0, 1000.0, 2000.0, 1000.0, 2000.0, 5.0, 10.0};
+  }
+}
+
+bool BaseStation::covers(double px, double py) const noexcept {
+  double dx = px - x_m;
+  double dy = py - y_m;
+  return std::sqrt(dx * dx + dy * dy) <= radius_m;
+}
+
+}  // namespace mecsc::net

@@ -1,0 +1,57 @@
+#ifndef MECSC_NET_BASE_STATION_H
+#define MECSC_NET_BASE_STATION_H
+
+#include <cstddef>
+#include <string>
+
+namespace mecsc::net {
+
+/// Base-station tier in the 5G heterogeneous MEC (paper §III.A, §VI.A).
+enum class Tier { kMacro, kMicro, kFemto };
+
+const char* tier_name(Tier tier) noexcept;
+
+/// Per-tier parameter ranges from the paper's experiment section (§VI.A):
+/// transmit power, coverage radius, computing capacity (MHz), bandwidth
+/// capacity (Mbps), and the range of the average per-unit processing
+/// delay (ms).
+struct TierProfile {
+  Tier tier;
+  double transmit_power_w;
+  double radius_m;
+  double capacity_lo_mhz;
+  double capacity_hi_mhz;
+  double bandwidth_lo_mbps;
+  double bandwidth_hi_mbps;
+  double delay_lo_ms;
+  double delay_hi_ms;
+};
+
+/// Paper values: macro 40 W / 100 m / 8000-16000 MHz / 500-1000 Mbps /
+/// 30-50 ms; micro 5 W / 30 m / 5000-10000 MHz / 200-500 Mbps / 10-20 ms;
+/// femto 0.1 W / 15 m / 1000-2000 MHz / 1000-2000 Mbps (paper gives one
+/// range for both) / 5-10 ms.
+TierProfile tier_profile(Tier tier) noexcept;
+
+/// One 5G base station with an attached cloudlet.
+struct BaseStation {
+  std::size_t id = 0;
+  Tier tier = Tier::kFemto;
+  double x_m = 0.0;  // planar position (metres)
+  double y_m = 0.0;
+  double radius_m = 0.0;           // coverage radius
+  double capacity_mhz = 0.0;       // computing capacity C(bs_i)
+  double bandwidth_mbps = 0.0;
+  double transmit_power_w = 0.0;
+  /// Mean per-unit-data processing delay θ*_i of the station's delay
+  /// process (ms per data unit). The *realised* delay d_i(t) fluctuates
+  /// around this per slot and is unknown to the online algorithms.
+  double mean_unit_delay_ms = 0.0;
+
+  /// True if a planar point is inside the coverage radius.
+  bool covers(double px, double py) const noexcept;
+};
+
+}  // namespace mecsc::net
+
+#endif  // MECSC_NET_BASE_STATION_H

@@ -1,0 +1,109 @@
+#include "net/delay_process.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mecsc::net {
+
+UniformDelayProcess::UniformDelayProcess(double lo, double hi) : lo_(lo), hi_(hi) {
+  MECSC_CHECK_MSG(0.0 <= lo && lo <= hi, "need 0 <= lo <= hi");
+}
+
+double UniformDelayProcess::sample(common::Rng& rng) {
+  return rng.uniform(lo_, hi_);
+}
+
+Ar1DelayProcess::Ar1DelayProcess(double mean, double phi, double sigma,
+                                 double lo, double hi)
+    : mean_(mean), phi_(phi), sigma_(sigma), lo_(lo), hi_(hi), last_(mean) {
+  MECSC_CHECK_MSG(0.0 <= lo && lo <= mean && mean <= hi, "need lo <= mean <= hi");
+  MECSC_CHECK_MSG(std::abs(phi) < 1.0, "AR(1) requires |phi| < 1");
+  MECSC_CHECK_MSG(sigma >= 0.0, "negative sigma");
+}
+
+double Ar1DelayProcess::sample(common::Rng& rng) {
+  double next = mean_ + phi_ * (last_ - mean_) + rng.normal(0.0, sigma_);
+  last_ = std::clamp(next, lo_, hi_);
+  return last_;
+}
+
+SpikyDelayProcess::SpikyDelayProcess(std::unique_ptr<DelayProcess> base,
+                                     double spike_prob, double spike_factor)
+    : base_(std::move(base)), spike_prob_(spike_prob), spike_factor_(spike_factor) {
+  MECSC_CHECK_MSG(base_ != nullptr, "null base process");
+  MECSC_CHECK_MSG(0.0 <= spike_prob && spike_prob <= 1.0, "spike prob out of [0,1]");
+  MECSC_CHECK_MSG(spike_factor >= 1.0, "spike factor must be >= 1");
+}
+
+double SpikyDelayProcess::sample(common::Rng& rng) {
+  double d = base_->sample(rng);
+  if (rng.bernoulli(spike_prob_)) d *= spike_factor_;
+  return d;
+}
+
+double SpikyDelayProcess::mean() const {
+  return base_->mean() * (1.0 + spike_prob_ * (spike_factor_ - 1.0));
+}
+
+NetworkDelayModel::NetworkDelayModel(
+    std::vector<std::unique_ptr<DelayProcess>> processes)
+    : processes_(std::move(processes)) {
+  for (const auto& p : processes_) {
+    MECSC_CHECK_MSG(p != nullptr, "null delay process");
+  }
+}
+
+std::vector<double> NetworkDelayModel::realize(common::Rng& rng) {
+  std::vector<double> d(processes_.size());
+  for (std::size_t i = 0; i < processes_.size(); ++i) d[i] = processes_[i]->sample(rng);
+  return d;
+}
+
+std::vector<double> NetworkDelayModel::true_means() const {
+  std::vector<double> m(processes_.size());
+  for (std::size_t i = 0; i < processes_.size(); ++i) m[i] = processes_[i]->mean();
+  return m;
+}
+
+double NetworkDelayModel::global_min() const {
+  double lo = std::numeric_limits<double>::infinity();
+  for (const auto& p : processes_) lo = std::min(lo, p->min_value());
+  return processes_.empty() ? 0.0 : lo;
+}
+
+double NetworkDelayModel::global_max() const {
+  double hi = 0.0;
+  for (const auto& p : processes_) hi = std::max(hi, p->max_value());
+  return hi;
+}
+
+NetworkDelayModel make_delay_model(const Topology& topology, DelayModelKind kind,
+                                   common::Rng& rng) {
+  std::vector<std::unique_ptr<DelayProcess>> processes;
+  processes.reserve(topology.num_stations());
+  for (const auto& bs : topology.stations()) {
+    TierProfile p = tier_profile(bs.tier);
+    double half_width = 0.5 * (p.delay_hi_ms - p.delay_lo_ms);
+    double lo = std::max(0.1, bs.mean_unit_delay_ms - half_width);
+    double hi = bs.mean_unit_delay_ms + half_width;
+    switch (kind) {
+      case DelayModelKind::kUniform:
+        processes.push_back(std::make_unique<UniformDelayProcess>(lo, hi));
+        break;
+      case DelayModelKind::kAr1:
+        processes.push_back(std::make_unique<Ar1DelayProcess>(
+            bs.mean_unit_delay_ms, 0.7, half_width * 0.4, lo, hi));
+        break;
+      case DelayModelKind::kSpiky:
+        processes.push_back(std::make_unique<SpikyDelayProcess>(
+            std::make_unique<UniformDelayProcess>(lo, hi),
+            rng.uniform(0.02, 0.08), 3.0));
+        break;
+    }
+  }
+  return NetworkDelayModel(std::move(processes));
+}
+
+}  // namespace mecsc::net

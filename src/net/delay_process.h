@@ -1,0 +1,123 @@
+#ifndef MECSC_NET_DELAY_PROCESS_H
+#define MECSC_NET_DELAY_PROCESS_H
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/topology.h"
+
+namespace mecsc::net {
+
+/// A stochastic process generating the per-unit processing delay d_i(t)
+/// of one base station (paper §III.D: varies across slots, unknown in
+/// advance, constant within a slot and observable at the slot start only
+/// by the stations actually used — which is what the bandit feedback in
+/// Algorithm 1 exploits).
+class DelayProcess {
+ public:
+  virtual ~DelayProcess() = default;
+
+  /// Realises d_i(t) for the next slot.
+  virtual double sample(common::Rng& rng) = 0;
+
+  /// True mean of the process (oracle information used only for regret
+  /// accounting and tests; the online algorithms never see it).
+  virtual double mean() const = 0;
+
+  /// Support bounds. Lemma 1's regret gap uses d_max / d_min, which the
+  /// paper assumes are known in advance.
+  virtual double min_value() const = 0;
+  virtual double max_value() const = 0;
+};
+
+/// I.i.d. uniform delay over [lo, hi] — the paper's default model
+/// (§VI.A gives per-tier delay ranges).
+class UniformDelayProcess final : public DelayProcess {
+ public:
+  UniformDelayProcess(double lo, double hi);
+  double sample(common::Rng& rng) override;
+  double mean() const override { return 0.5 * (lo_ + hi_); }
+  double min_value() const override { return lo_; }
+  double max_value() const override { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Mean-reverting AR(1) delay: d(t) = mean + phi*(d(t-1) - mean) + noise,
+/// clamped to [lo, hi]. Models slot-to-slot correlated congestion.
+class Ar1DelayProcess final : public DelayProcess {
+ public:
+  Ar1DelayProcess(double mean, double phi, double sigma, double lo, double hi);
+  double sample(common::Rng& rng) override;
+  double mean() const override { return mean_; }
+  double min_value() const override { return lo_; }
+  double max_value() const override { return hi_; }
+
+ private:
+  double mean_;
+  double phi_;
+  double sigma_;
+  double lo_;
+  double hi_;
+  double last_;
+};
+
+/// Base process with occasional congestion spikes: with probability
+/// `spike_prob` the sampled delay is multiplied by `spike_factor`
+/// (clamped to the stated max). Used in failure-injection tests and the
+/// bursty-congestion ablation.
+class SpikyDelayProcess final : public DelayProcess {
+ public:
+  SpikyDelayProcess(std::unique_ptr<DelayProcess> base, double spike_prob,
+                    double spike_factor);
+  double sample(common::Rng& rng) override;
+  double mean() const override;
+  double min_value() const override { return base_->min_value(); }
+  double max_value() const override { return base_->max_value() * spike_factor_; }
+
+ private:
+  std::unique_ptr<DelayProcess> base_;
+  double spike_prob_;
+  double spike_factor_;
+};
+
+/// Per-station delay processes for a whole topology, plus the per-slot
+/// realisation step the simulator calls.
+class NetworkDelayModel {
+ public:
+  /// Takes ownership of one process per station (index-aligned).
+  explicit NetworkDelayModel(std::vector<std::unique_ptr<DelayProcess>> processes);
+
+  std::size_t size() const noexcept { return processes_.size(); }
+
+  /// Realises d_i(t) for all stations for one slot.
+  std::vector<double> realize(common::Rng& rng);
+
+  /// True per-station means (oracle).
+  std::vector<double> true_means() const;
+
+  double global_min() const;
+  double global_max() const;
+
+  const DelayProcess& process(std::size_t i) const { return *processes_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<DelayProcess>> processes_;
+};
+
+/// Flavour of the default delay model.
+enum class DelayModelKind { kUniform, kAr1, kSpiky };
+
+/// Builds the default model for a topology: each station gets a process
+/// centred on its `mean_unit_delay_ms`, with a ± spread proportional to
+/// the tier's range width (so macro delays fluctuate in ~[30,50] ms etc.,
+/// matching §VI.A).
+NetworkDelayModel make_delay_model(const Topology& topology, DelayModelKind kind,
+                                   common::Rng& rng);
+
+}  // namespace mecsc::net
+
+#endif  // MECSC_NET_DELAY_PROCESS_H

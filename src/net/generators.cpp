@@ -1,0 +1,221 @@
+#include "net/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace mecsc::net {
+
+namespace {
+
+/// Fills the tier-dependent attributes of a station in place.
+void assign_tier_attributes(BaseStation& bs, Tier tier, common::Rng& rng) {
+  TierProfile p = tier_profile(tier);
+  bs.tier = tier;
+  bs.radius_m = p.radius_m;
+  bs.transmit_power_w = p.transmit_power_w;
+  bs.capacity_mhz = rng.uniform(p.capacity_lo_mhz, p.capacity_hi_mhz);
+  bs.bandwidth_mbps = rng.uniform(p.bandwidth_lo_mbps, p.bandwidth_hi_mbps);
+  bs.mean_unit_delay_ms = rng.uniform(p.delay_lo_ms, p.delay_hi_ms);
+}
+
+/// Computes tier counts from fractions, guaranteeing at least one macro.
+struct TierCounts {
+  std::size_t macro;
+  std::size_t micro;
+  std::size_t femto;
+};
+
+TierCounts tier_counts(std::size_t n, double macro_fraction,
+                       double micro_fraction) {
+  auto macro = static_cast<std::size_t>(std::round(macro_fraction * static_cast<double>(n)));
+  auto micro = static_cast<std::size_t>(std::round(micro_fraction * static_cast<double>(n)));
+  macro = std::max<std::size_t>(macro, 1);
+  if (macro + micro > n) micro = n - macro;
+  return {macro, micro, n - macro - micro};
+}
+
+/// Connects the graph: links any station unreachable from station 0 to a
+/// uniformly random already-reachable one.
+void ensure_connected(Topology& topo, common::Rng& rng, double lat_lo,
+                      double lat_hi, double bw_lo, double bw_hi) {
+  const std::size_t n = topo.num_stations();
+  std::vector<bool> reach(n, false);
+  std::vector<std::size_t> frontier{0};
+  reach[0] = true;
+  std::vector<std::size_t> reachable{0};
+  while (!frontier.empty()) {
+    std::size_t u = frontier.back();
+    frontier.pop_back();
+    for (std::size_t v : topo.neighbors(u)) {
+      if (!reach[v]) {
+        reach[v] = true;
+        reachable.push_back(v);
+        frontier.push_back(v);
+      }
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (reach[v]) continue;
+    std::size_t anchor = reachable[rng.index(reachable.size())];
+    topo.add_link(Link{anchor, v, rng.uniform(lat_lo, lat_hi),
+                       rng.uniform(bw_lo, bw_hi), false});
+    // v's whole component becomes reachable.
+    reach[v] = true;
+    reachable.push_back(v);
+    frontier.push_back(v);
+    while (!frontier.empty()) {
+      std::size_t u = frontier.back();
+      frontier.pop_back();
+      for (std::size_t w : topo.neighbors(u)) {
+        if (!reach[w]) {
+          reach[w] = true;
+          reachable.push_back(w);
+          frontier.push_back(w);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Topology generate_gtitm_like(const GtItmParams& params, common::Rng& rng) {
+  MECSC_CHECK_MSG(params.num_stations >= 2, "need at least 2 stations");
+  MECSC_CHECK_MSG(params.edge_probability >= 0.0 && params.edge_probability <= 1.0,
+                  "edge probability out of [0,1]");
+  const std::size_t n = params.num_stations;
+  TierCounts counts = tier_counts(n, params.macro_fraction, params.micro_fraction);
+
+  std::vector<BaseStation> stations(n);
+  // Macros sit on a coarse grid of cell centres; each covers a disk of
+  // radius 100 m in which its small cells are dropped (paper §VI.A:
+  // "macro base station is deployed in the center while the femto and
+  // micro base stations are randomly deployed within the transmission
+  // region of the macro").
+  auto grid = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(counts.macro))));
+  const double cell = 220.0;  // metres between macro centres (disjoint-ish cells)
+  std::vector<std::pair<double, double>> macro_centers;
+  for (std::size_t i = 0; i < counts.macro; ++i) {
+    double cx = static_cast<double>(i % grid) * cell + cell / 2.0;
+    double cy = static_cast<double>(i / grid) * cell + cell / 2.0;
+    macro_centers.emplace_back(cx, cy);
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    BaseStation& bs = stations[i];
+    bs.id = i;
+    if (i < counts.macro) {
+      assign_tier_attributes(bs, Tier::kMacro, rng);
+      bs.x_m = macro_centers[i].first;
+      bs.y_m = macro_centers[i].second;
+    } else {
+      Tier tier = (i < counts.macro + counts.micro) ? Tier::kMicro : Tier::kFemto;
+      assign_tier_attributes(bs, tier, rng);
+      const auto& [cx, cy] = macro_centers[rng.index(macro_centers.size())];
+      double r = 100.0 * std::sqrt(rng.uniform());  // uniform over the disk
+      double angle = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+      bs.x_m = cx + r * std::cos(angle);
+      bs.y_m = cy + r * std::sin(angle);
+    }
+  }
+
+  Topology topo(std::move(stations));
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = a + 1; b < n; ++b) {
+      if (rng.bernoulli(params.edge_probability)) {
+        topo.add_link(Link{a, b,
+                           rng.uniform(params.link_latency_lo_ms, params.link_latency_hi_ms),
+                           rng.uniform(200.0, 1000.0), false});
+      }
+    }
+  }
+  ensure_connected(topo, rng, params.link_latency_lo_ms,
+                   params.link_latency_hi_ms, 200.0, 1000.0);
+  return topo;
+}
+
+Topology generate_as1755_like(const As1755Params& params, common::Rng& rng) {
+  MECSC_CHECK_MSG(params.num_stations >= 3, "need at least 3 stations");
+  MECSC_CHECK_MSG(params.attachment_degree >= 1, "attachment degree must be >= 1");
+  const std::size_t n = params.num_stations;
+  const std::size_t m0 = std::max<std::size_t>(params.attachment_degree + 1, 3);
+
+  // Barabási–Albert preferential attachment over edge endpoints: the
+  // repeated-endpoint list makes the probability of attaching to a node
+  // proportional to its degree.
+  std::vector<std::pair<std::size_t, std::size_t>> edges;
+  std::vector<std::size_t> endpoints;
+  for (std::size_t v = 1; v < std::min(m0, n); ++v) {
+    edges.emplace_back(v - 1, v);
+    endpoints.push_back(v - 1);
+    endpoints.push_back(v);
+  }
+  for (std::size_t v = m0; v < n; ++v) {
+    std::size_t added = 0;
+    std::size_t guard = 0;
+    std::vector<std::size_t> chosen;
+    while (added < params.attachment_degree && guard < 64) {
+      std::size_t u = endpoints[rng.index(endpoints.size())];
+      ++guard;
+      if (u == v || std::find(chosen.begin(), chosen.end(), u) != chosen.end())
+        continue;
+      chosen.push_back(u);
+      edges.emplace_back(u, v);
+      ++added;
+    }
+    for (std::size_t u : chosen) {
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+
+  // Degree determines the tier: the best-connected routers are the macro
+  // stations of the MEC overlay.
+  std::vector<std::size_t> degree(n, 0);
+  for (const auto& [a, b] : edges) {
+    ++degree[a];
+    ++degree[b];
+  }
+  std::vector<std::size_t> by_degree(n);
+  std::iota(by_degree.begin(), by_degree.end(), 0);
+  std::sort(by_degree.begin(), by_degree.end(),
+            [&](std::size_t a, std::size_t b) { return degree[a] > degree[b]; });
+  TierCounts counts = tier_counts(n, 0.05, 0.15);
+
+  std::vector<BaseStation> stations(n);
+  for (std::size_t rank = 0; rank < n; ++rank) {
+    std::size_t id = by_degree[rank];
+    BaseStation& bs = stations[id];
+    bs.id = id;
+    Tier tier = rank < counts.macro ? Tier::kMacro
+                : rank < counts.macro + counts.micro ? Tier::kMicro
+                                                     : Tier::kFemto;
+    assign_tier_attributes(bs, tier, rng);
+    // Positions are only used for coverage queries; scatter uniformly.
+    bs.x_m = rng.uniform(0.0, 1000.0);
+    bs.y_m = rng.uniform(0.0, 1000.0);
+  }
+  // `stations` was filled by id already (constructor requires id order).
+  Topology topo(std::move(stations));
+  for (const auto& [a, b] : edges) {
+    if (topo.has_link(a, b)) continue;
+    topo.add_link(Link{a, b,
+                       rng.uniform(params.link_latency_lo_ms, params.link_latency_hi_ms),
+                       rng.uniform(200.0, 1000.0), false});
+  }
+  auto n_bottleneck = static_cast<std::size_t>(
+      std::ceil(params.bottleneck_fraction * static_cast<double>(topo.num_links())));
+  topo.mark_bottlenecks(n_bottleneck, params.bottleneck_factor);
+  return topo;
+}
+
+Topology generate_as1755_like_sized(std::size_t num_stations, common::Rng& rng) {
+  As1755Params params;
+  params.num_stations = num_stations;
+  return generate_as1755_like(params, rng);
+}
+
+}  // namespace mecsc::net

@@ -1,0 +1,68 @@
+#ifndef MECSC_NET_GENERATORS_H
+#define MECSC_NET_GENERATORS_H
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "net/topology.h"
+
+namespace mecsc::net {
+
+/// Parameters of the GT-ITM-like synthetic topology generator
+/// (paper §VI.A: pairwise connection probability 0.1; macro stations in
+/// cell centres with femto/micro stations placed inside their radii).
+struct GtItmParams {
+  std::size_t num_stations = 100;
+  /// Fractions of each tier; femto gets the remainder. The paper gives
+  /// only "macro, micro, and femto" without a mix, so we follow the
+  /// common dense-small-cell deployment: few macros, more micros, mostly
+  /// femtos.
+  double macro_fraction = 0.05;
+  double micro_fraction = 0.15;
+  /// Probability that any pair of stations is connected by a link.
+  double edge_probability = 0.1;
+  /// Link latency range (ms) for wired backhaul between stations.
+  double link_latency_lo_ms = 0.5;
+  double link_latency_hi_ms = 3.0;
+};
+
+/// Generates a connected GT-ITM-like topology. Every pair of stations is
+/// linked with probability `edge_probability`; a deterministic spanning
+/// pass then guarantees connectivity (each non-first station links to a
+/// random earlier one if the Bernoulli pass left it isolated from the
+/// rest). Tier attributes (capacity, bandwidth, radius, mean unit delay)
+/// are drawn from `tier_profile` ranges.
+Topology generate_gtitm_like(const GtItmParams& params, common::Rng& rng);
+
+/// Parameters of the AS1755-like "real" topology.
+struct As1755Params {
+  /// Rocketfuel's AS1755 (EBONE) backbone has 172 routers; we default to
+  /// the same node count so Fig. 5/7 runs at the paper's real-network
+  /// scale.
+  std::size_t num_stations = 172;
+  /// Preferential-attachment edges per new node (yields a heavy-tailed
+  /// degree distribution like measured router topologies).
+  std::size_t attachment_degree = 2;
+  /// Fraction of links marked as bottlenecks, and the latency multiplier
+  /// applied to them. Real AS-level maps concentrate traffic on few
+  /// high-latency transit links; this reproduces the "more bottleneck
+  /// links than synthetic" property the paper cites for Fig. 5.
+  double bottleneck_fraction = 0.08;
+  double bottleneck_factor = 6.0;
+  double link_latency_lo_ms = 0.5;
+  double link_latency_hi_ms = 3.0;
+};
+
+/// Generates an AS1755-like topology: Barabási–Albert preferential
+/// attachment for the link structure, tiers assigned by degree (highest
+/// degree nodes become macros), and the highest-latency links scaled up
+/// and marked as bottlenecks.
+Topology generate_as1755_like(const As1755Params& params, common::Rng& rng);
+
+/// Convenience: AS1755-like with a different station count (the Fig. 7
+/// size sweep uses 50..300 stations of the same "real" family).
+Topology generate_as1755_like_sized(std::size_t num_stations, common::Rng& rng);
+
+}  // namespace mecsc::net
+
+#endif  // MECSC_NET_GENERATORS_H

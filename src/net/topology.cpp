@@ -1,0 +1,136 @@
+#include "net/topology.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.h"
+
+namespace mecsc::net {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Topology::Topology(std::vector<BaseStation> stations)
+    : stations_(std::move(stations)),
+      adjacency_(stations_.size()),
+      adjacency_edge_(stations_.size()) {
+  for (std::size_t i = 0; i < stations_.size(); ++i) {
+    MECSC_CHECK_MSG(stations_[i].id == i, "station ids must be 0..n-1 in order");
+  }
+}
+
+void Topology::add_link(Link link) {
+  MECSC_CHECK_MSG(link.a < stations_.size() && link.b < stations_.size(),
+                  "link endpoint out of range");
+  MECSC_CHECK_MSG(link.a != link.b, "self-loop links are not allowed");
+  MECSC_CHECK_MSG(!has_link(link.a, link.b), "parallel links are not allowed");
+  MECSC_CHECK_MSG(link.latency_ms >= 0.0, "negative link latency");
+  adjacency_[link.a].push_back(link.b);
+  adjacency_[link.b].push_back(link.a);
+  adjacency_edge_[link.a].push_back(links_.size());
+  adjacency_edge_[link.b].push_back(links_.size());
+  links_.push_back(link);
+  cache_valid_ = false;
+}
+
+bool Topology::has_link(std::size_t a, std::size_t b) const {
+  if (a >= adjacency_.size()) return false;
+  return std::find(adjacency_[a].begin(), adjacency_[a].end(), b) !=
+         adjacency_[a].end();
+}
+
+std::vector<std::size_t> Topology::stations_of_tier(Tier tier) const {
+  std::vector<std::size_t> out;
+  for (const auto& bs : stations_) {
+    if (bs.tier == tier) out.push_back(bs.id);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Topology::stations_covering(double x, double y) const {
+  std::vector<std::size_t> out;
+  for (const auto& bs : stations_) {
+    if (bs.covers(x, y)) out.push_back(bs.id);
+  }
+  return out;
+}
+
+bool Topology::is_connected() const {
+  if (stations_.empty()) return true;
+  std::vector<bool> seen(stations_.size(), false);
+  std::queue<std::size_t> q;
+  q.push(0);
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!q.empty()) {
+    std::size_t u = q.front();
+    q.pop();
+    for (std::size_t v : adjacency_[u]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++visited;
+        q.push(v);
+      }
+    }
+  }
+  return visited == stations_.size();
+}
+
+void Topology::compute_all_pairs() const {
+  const std::size_t n = stations_.size();
+  latency_cache_.assign(n, std::vector<double>(n, kInf));
+  using Item = std::pair<double, std::size_t>;
+  for (std::size_t s = 0; s < n; ++s) {
+    auto& dist = latency_cache_[s];
+    dist[s] = 0.0;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.emplace(0.0, s);
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u] + 1e-12) continue;
+      for (std::size_t k = 0; k < adjacency_[u].size(); ++k) {
+        std::size_t v = adjacency_[u][k];
+        double w = links_[adjacency_edge_[u][k]].latency_ms;
+        if (dist[u] + w < dist[v] - 1e-12) {
+          dist[v] = dist[u] + w;
+          pq.emplace(dist[v], v);
+        }
+      }
+    }
+  }
+  cache_valid_ = true;
+}
+
+double Topology::path_latency_ms(std::size_t from, std::size_t to) const {
+  MECSC_CHECK(from < stations_.size() && to < stations_.size());
+  if (from == to) return 0.0;
+  if (!cache_valid_) compute_all_pairs();
+  return latency_cache_[from][to];
+}
+
+double Topology::total_capacity_mhz() const {
+  double total = 0.0;
+  for (const auto& bs : stations_) total += bs.capacity_mhz;
+  return total;
+}
+
+void Topology::mark_bottlenecks(std::size_t count, double factor) {
+  MECSC_CHECK_MSG(factor >= 1.0, "bottleneck factor must be >= 1");
+  std::vector<std::size_t> order(links_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return links_[a].latency_ms > links_[b].latency_ms;
+  });
+  count = std::min(count, order.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    Link& l = links_[order[i]];
+    l.bottleneck = true;
+    l.latency_ms *= factor;
+  }
+  cache_valid_ = false;
+}
+
+}  // namespace mecsc::net

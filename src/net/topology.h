@@ -1,0 +1,90 @@
+#ifndef MECSC_NET_TOPOLOGY_H
+#define MECSC_NET_TOPOLOGY_H
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "net/base_station.h"
+
+namespace mecsc::net {
+
+/// An undirected link between two base stations.
+struct Link {
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double latency_ms = 0.0;     // propagation + forwarding latency
+  double bandwidth_mbps = 0.0;
+  bool bottleneck = false;     // marked for AS1755-like real topologies
+};
+
+/// The 5G heterogeneous MEC network G = (BS, E) (paper §III.A).
+///
+/// Stores the base stations, the inter-station links and, lazily, the
+/// all-pairs shortest-path latency matrix used for the network-access
+/// component of a request's delay when it is served away from its home
+/// station. (The paper's formal objective only has the processing and
+/// instantiation terms; its AS1755 experiment attributes the larger gap
+/// to bottleneck links, which is exactly what this latency matrix makes
+/// visible — see DESIGN.md §5.)
+class Topology {
+ public:
+  Topology() = default;
+  explicit Topology(std::vector<BaseStation> stations);
+
+  std::size_t num_stations() const noexcept { return stations_.size(); }
+  std::size_t num_links() const noexcept { return links_.size(); }
+
+  const BaseStation& station(std::size_t i) const { return stations_.at(i); }
+  BaseStation& station(std::size_t i) { return stations_.at(i); }
+  const std::vector<BaseStation>& stations() const noexcept { return stations_; }
+  const std::vector<Link>& links() const noexcept { return links_; }
+
+  /// Adds an undirected link; parallel links and self-loops are rejected.
+  void add_link(Link link);
+
+  /// True if an a-b link already exists (order-insensitive).
+  bool has_link(std::size_t a, std::size_t b) const;
+
+  const std::vector<std::size_t>& neighbors(std::size_t i) const {
+    return adjacency_.at(i);
+  }
+
+  /// Station ids of the given tier.
+  std::vector<std::size_t> stations_of_tier(Tier tier) const;
+
+  /// Ids of stations whose coverage disk contains (x, y). The paper's
+  /// Pri_GD baseline prioritises users by this count.
+  std::vector<std::size_t> stations_covering(double x, double y) const;
+
+  /// Whole-graph connectivity (BFS from node 0).
+  bool is_connected() const;
+
+  /// Shortest-path latency between stations (ms); 0 on the diagonal,
+  /// +inf for disconnected pairs. Computed on first use (Dijkstra from
+  /// every node) and cached; `add_link` invalidates the cache.
+  double path_latency_ms(std::size_t from, std::size_t to) const;
+
+  /// Sum of computing capacities, used for the feasibility precondition
+  /// (total demand must fit, §III.E).
+  double total_capacity_mhz() const;
+
+  /// Marks the `count` highest-latency links as bottlenecks and scales
+  /// their latency by `factor` (used by the AS1755-like generator).
+  void mark_bottlenecks(std::size_t count, double factor);
+
+ private:
+  void compute_all_pairs() const;
+
+  std::vector<BaseStation> stations_;
+  std::vector<Link> links_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+  // adjacency_edge_[i] holds indices into links_ parallel to adjacency_[i].
+  std::vector<std::vector<std::size_t>> adjacency_edge_;
+  mutable std::vector<std::vector<double>> latency_cache_;
+  mutable bool cache_valid_ = false;
+};
+
+}  // namespace mecsc::net
+
+#endif  // MECSC_NET_TOPOLOGY_H

@@ -1,0 +1,54 @@
+#include "net/wireless.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace mecsc::net {
+
+WirelessModel::WirelessModel(WirelessParams params) : params_(params) {
+  MECSC_CHECK_MSG(params_.system_bandwidth_hz > 0.0, "bandwidth must be > 0");
+  MECSC_CHECK_MSG(params_.path_loss_exponent > 0.0, "path loss exponent must be > 0");
+  MECSC_CHECK_MSG(params_.max_spectral_efficiency > 0.0,
+                  "spectral efficiency cap must be > 0");
+  MECSC_CHECK_MSG(params_.bits_per_data_unit > 0.0, "bits per unit must be > 0");
+}
+
+double WirelessModel::path_loss_db(double distance_m) const {
+  MECSC_CHECK_MSG(distance_m >= 0.0, "negative distance");
+  double d = std::max(distance_m, 1.0);
+  return params_.reference_loss_db +
+         10.0 * params_.path_loss_exponent * std::log10(d);
+}
+
+double WirelessModel::snr(const BaseStation& bs, double distance_m,
+                          double bandwidth_share) const {
+  MECSC_CHECK_MSG(bandwidth_share > 0.0 && bandwidth_share <= 1.0,
+                  "bandwidth share out of (0,1]");
+  double tx_dbm = 10.0 * std::log10(bs.transmit_power_w * 1e3);
+  double rx_dbm = tx_dbm - path_loss_db(distance_m);
+  double noise_dbm =
+      params_.noise_dbm_per_hz + params_.noise_figure_db +
+      10.0 * std::log10(params_.system_bandwidth_hz * bandwidth_share);
+  return std::pow(10.0, (rx_dbm - noise_dbm) / 10.0);
+}
+
+double WirelessModel::rate_bps(const BaseStation& bs, double distance_m,
+                               double bandwidth_share) const {
+  double se = std::log2(1.0 + snr(bs, distance_m, bandwidth_share));
+  se = std::min(se, params_.max_spectral_efficiency);  // 64QAM ceiling
+  return params_.system_bandwidth_hz * bandwidth_share * se;
+}
+
+double WirelessModel::transmission_delay_ms(const BaseStation& bs,
+                                            double distance_m, double data_units,
+                                            double bandwidth_share) const {
+  MECSC_CHECK_MSG(data_units >= 0.0, "negative data volume");
+  double rate = rate_bps(bs, distance_m, bandwidth_share);
+  if (rate <= 1e-9) return std::numeric_limits<double>::infinity();
+  return data_units * params_.bits_per_data_unit / rate * 1e3;
+}
+
+}  // namespace mecsc::net

@@ -1,0 +1,71 @@
+#ifndef MECSC_NET_WIRELESS_H
+#define MECSC_NET_WIRELESS_H
+
+#include <cstddef>
+
+#include "net/base_station.h"
+
+namespace mecsc::net {
+
+/// Radio parameters from the paper's experiment section (§VI.A): 20 MHz
+/// system bandwidth, 64QAM modulation (so at most 6 bit/s/Hz of spectral
+/// efficiency), per-tier transmit powers (40 W / 5 W / 0.1 W), plus
+/// textbook log-distance path loss and thermal noise.
+struct WirelessParams {
+  double system_bandwidth_hz = 20e6;
+  /// Thermal noise power spectral density (dBm/Hz).
+  double noise_dbm_per_hz = -174.0;
+  /// Receiver noise figure (dB).
+  double noise_figure_db = 7.0;
+  /// Log-distance path loss: PL(d) = reference_loss_db
+  /// + 10·exponent·log10(max(d, 1 m)).
+  double path_loss_exponent = 3.5;
+  double reference_loss_db = 30.0;
+  /// 64QAM caps spectral efficiency at 6 bit/s/Hz regardless of SNR.
+  double max_spectral_efficiency = 6.0;
+  /// Payload size of one demand data unit (bits) — converts ρ into air
+  /// time.
+  double bits_per_data_unit = 50e3;
+};
+
+/// Link-budget model for the user <-> base-station wireless hop.
+///
+/// The downlink/uplink rate follows truncated Shannon:
+///   rate = B_share · min(log2(1 + SNR), max_spectral_efficiency)
+/// with SNR from the station's transmit power and log-distance path
+/// loss. The MEC objective then gains a transmission-delay component
+/// ρ_l · bits_per_unit / rate(l) for moving the request's data over the
+/// air to its home station — identical for every candidate serving
+/// station, so it never changes the caching decision, but it makes the
+/// reported delays use the paper's §VI.A radio parameters end to end.
+class WirelessModel {
+ public:
+  explicit WirelessModel(WirelessParams params = {});
+
+  const WirelessParams& params() const noexcept { return params_; }
+
+  /// Path loss (dB) over a planar distance (metres).
+  double path_loss_db(double distance_m) const;
+
+  /// Received SNR (linear) at distance d from a station transmitting at
+  /// its tier power over a `bandwidth_share` fraction of the system
+  /// bandwidth.
+  double snr(const BaseStation& bs, double distance_m,
+             double bandwidth_share) const;
+
+  /// Achievable rate (bit/s) of the hop, truncated-Shannon.
+  double rate_bps(const BaseStation& bs, double distance_m,
+                  double bandwidth_share) const;
+
+  /// Time (ms) to move `data_units` of demand over the hop; +inf when
+  /// the rate is (numerically) zero.
+  double transmission_delay_ms(const BaseStation& bs, double distance_m,
+                               double data_units, double bandwidth_share) const;
+
+ private:
+  WirelessParams params_;
+};
+
+}  // namespace mecsc::net
+
+#endif  // MECSC_NET_WIRELESS_H

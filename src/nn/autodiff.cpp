@@ -1,0 +1,259 @@
+#include "nn/autodiff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/error.h"
+
+namespace mecsc::nn {
+
+void Node::accumulate(const Matrix& g) {
+  if (!requires_grad && parents.empty()) return;
+  if (grad.empty()) grad = Matrix(value.rows(), value.cols());
+  MECSC_CHECK_MSG(g.rows() == value.rows() && g.cols() == value.cols(),
+                  "gradient shape mismatch");
+  grad.add_scaled(g, 1.0);
+}
+
+void Node::zero_grad() { grad = Matrix(); }
+
+Var constant(Matrix value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
+}
+
+Var parameter(Matrix value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/true);
+}
+
+namespace {
+
+/// A node participates in backprop if it is a parameter or any ancestor is.
+bool needs_grad(const Var& v) {
+  return v->requires_grad || !v->parents.empty();
+}
+
+Var make_op(Matrix value, std::vector<Var> parents,
+            std::function<void(Node&)> backward_fn) {
+  bool any = false;
+  for (const auto& p : parents) any = any || needs_grad(p);
+  auto node = std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
+  if (any) {
+    node->parents = std::move(parents);
+    node->backward_fn = std::move(backward_fn);
+  }
+  return node;
+}
+
+void topo_sort(const Var& root, std::vector<Node*>& order) {
+  // Iterative DFS; recursion would overflow on long unrolled sequences.
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, std::size_t>> stack{{root.get(), 0}};
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child == 0 && visited.count(node)) {
+      stack.pop_back();
+      continue;
+    }
+    if (next_child < node->parents.size()) {
+      Node* child = node->parents[next_child].get();
+      ++next_child;
+      if (!visited.count(child)) stack.emplace_back(child, 0);
+      continue;
+    }
+    visited.insert(node);
+    order.push_back(node);
+    stack.pop_back();
+  }
+}
+
+}  // namespace
+
+void backward(const Var& root) {
+  MECSC_CHECK_MSG(root->value.rows() == 1 && root->value.cols() == 1,
+                  "backward() requires a scalar (1x1) root");
+  std::vector<Node*> order;
+  topo_sort(root, order);
+  root->accumulate(Matrix(1, 1, 1.0));
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn && !n->grad.empty()) n->backward_fn(*n);
+  }
+}
+
+Var op_matmul(const Var& a, const Var& b) {
+  Matrix value = matmul(a->value, b->value);
+  return make_op(std::move(value), {a, b}, [a, b](Node& n) {
+    a->accumulate(matmul(n.grad, b->value.transposed()));
+    b->accumulate(matmul(a->value.transposed(), n.grad));
+  });
+}
+
+Var op_add(const Var& a, const Var& b) {
+  return make_op(add(a->value, b->value), {a, b}, [a, b](Node& n) {
+    a->accumulate(n.grad);
+    b->accumulate(n.grad);
+  });
+}
+
+Var op_sub(const Var& a, const Var& b) {
+  return make_op(sub(a->value, b->value), {a, b}, [a, b](Node& n) {
+    a->accumulate(n.grad);
+    b->accumulate(scale(n.grad, -1.0));
+  });
+}
+
+Var op_hadamard(const Var& a, const Var& b) {
+  return make_op(hadamard(a->value, b->value), {a, b}, [a, b](Node& n) {
+    a->accumulate(hadamard(n.grad, b->value));
+    b->accumulate(hadamard(n.grad, a->value));
+  });
+}
+
+Var op_add_row(const Var& a, const Var& bias) {
+  return make_op(add_row_broadcast(a->value, bias->value), {a, bias},
+                 [a, bias](Node& n) {
+                   a->accumulate(n.grad);
+                   bias->accumulate(col_sums(n.grad));
+                 });
+}
+
+Var op_scale(const Var& a, double s) {
+  return make_op(scale(a->value, s), {a},
+                 [a, s](Node& n) { a->accumulate(scale(n.grad, s)); });
+}
+
+Var op_sigmoid(const Var& a) {
+  Matrix y = map_sigmoid(a->value);
+  Var node = make_op(y, {a}, nullptr);
+  Matrix yv = node->value;  // captured copy for the backward closure
+  if (!node->parents.empty()) {
+    node->backward_fn = [a, yv](Node& n) {
+      Matrix d = n.grad;
+      for (std::size_t i = 0; i < d.size(); ++i) d[i] *= yv[i] * (1.0 - yv[i]);
+      a->accumulate(d);
+    };
+  }
+  return node;
+}
+
+Var op_tanh(const Var& a) {
+  Matrix y = map_tanh(a->value);
+  Var node = make_op(y, {a}, nullptr);
+  Matrix yv = node->value;
+  if (!node->parents.empty()) {
+    node->backward_fn = [a, yv](Node& n) {
+      Matrix d = n.grad;
+      for (std::size_t i = 0; i < d.size(); ++i) d[i] *= 1.0 - yv[i] * yv[i];
+      a->accumulate(d);
+    };
+  }
+  return node;
+}
+
+Var op_relu(const Var& a) {
+  Matrix y = map_relu(a->value);
+  return make_op(y, {a}, [a](Node& n) {
+    Matrix d = n.grad;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (a->value[i] <= 0.0) d[i] = 0.0;
+    }
+    a->accumulate(d);
+  });
+}
+
+Var op_concat_cols(const Var& a, const Var& b) {
+  std::size_t ac = a->value.cols();
+  return make_op(concat_cols(a->value, b->value), {a, b}, [a, b, ac](Node& n) {
+    a->accumulate(slice_cols(n.grad, 0, ac));
+    b->accumulate(slice_cols(n.grad, ac, n.grad.cols()));
+  });
+}
+
+Var op_slice_cols(const Var& a, std::size_t begin, std::size_t end) {
+  return make_op(slice_cols(a->value, begin, end), {a}, [a, begin, end](Node& n) {
+    Matrix d(a->value.rows(), a->value.cols());
+    for (std::size_t r = 0; r < d.rows(); ++r) {
+      for (std::size_t j = begin; j < end; ++j) {
+        d.at(r, j) = n.grad.at(r, j - begin);
+      }
+    }
+    a->accumulate(d);
+  });
+}
+
+Var op_mean_all(const Var& a) {
+  Matrix value(1, 1, a->value.mean());
+  double inv_n = 1.0 / static_cast<double>(a->value.size());
+  return make_op(std::move(value), {a}, [a, inv_n](Node& n) {
+    Matrix d(a->value.rows(), a->value.cols(), n.grad[0] * inv_n);
+    a->accumulate(d);
+  });
+}
+
+Var loss_mse(const Var& pred, const Var& target) {
+  MECSC_CHECK_MSG(pred->value.rows() == target->value.rows() &&
+                      pred->value.cols() == target->value.cols(),
+                  "MSE shape mismatch");
+  Matrix diff = sub(pred->value, target->value);
+  double n = static_cast<double>(diff.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < diff.size(); ++i) loss += diff[i] * diff[i];
+  loss /= n;
+  return make_op(Matrix(1, 1, loss), {pred, target}, [pred, target, n](Node& node) {
+    Matrix d = sub(pred->value, target->value);
+    double s = 2.0 * node.grad[0] / n;
+    for (std::size_t i = 0; i < d.size(); ++i) d[i] *= s;
+    pred->accumulate(d);
+    target->accumulate(scale(d, -1.0));
+  });
+}
+
+Var loss_bce_with_logits(const Var& logits, const Var& targets) {
+  MECSC_CHECK_MSG(logits->value.rows() == targets->value.rows() &&
+                      logits->value.cols() == targets->value.cols(),
+                  "BCE shape mismatch");
+  const Matrix& x = logits->value;
+  const Matrix& t = targets->value;
+  double n = static_cast<double>(x.size());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // softplus(x) - x*t, stable for both signs of x.
+    double xv = x[i];
+    double sp = xv > 0.0 ? xv + std::log1p(std::exp(-xv)) : std::log1p(std::exp(xv));
+    loss += sp - xv * t[i];
+  }
+  loss /= n;
+  return make_op(Matrix(1, 1, loss), {logits, targets}, [logits, targets, n](Node& node) {
+    Matrix d = map_sigmoid(logits->value);
+    d.add_scaled(targets->value, -1.0);
+    double s = node.grad[0] / n;
+    for (std::size_t i = 0; i < d.size(); ++i) d[i] *= s;
+    logits->accumulate(d);
+  });
+}
+
+Var loss_softmax_cross_entropy(const Var& logits, const Var& targets) {
+  MECSC_CHECK_MSG(logits->value.rows() == targets->value.rows() &&
+                      logits->value.cols() == targets->value.cols(),
+                  "cross-entropy shape mismatch");
+  Matrix p = softmax_rows(logits->value);
+  double rows = static_cast<double>(p.rows());
+  double loss = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (targets->value[i] > 0.0) {
+      loss -= targets->value[i] * std::log(std::max(p[i], 1e-12));
+    }
+  }
+  loss /= rows;
+  return make_op(Matrix(1, 1, loss), {logits, targets},
+                 [logits, targets, p, rows](Node& node) {
+                   Matrix d = p;
+                   d.add_scaled(targets->value, -1.0);
+                   double s = node.grad[0] / rows;
+                   for (std::size_t i = 0; i < d.size(); ++i) d[i] *= s;
+                   logits->accumulate(d);
+                 });
+}
+
+}  // namespace mecsc::nn

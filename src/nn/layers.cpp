@@ -1,0 +1,173 @@
+#include "nn/layers.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace mecsc::nn {
+
+std::size_t Module::parameter_count() const {
+  std::size_t n = 0;
+  for (const auto& p : parameters()) n += p->value.size();
+  return n;
+}
+
+void Module::zero_grad() const {
+  for (const auto& p : parameters()) p->zero_grad();
+}
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, common::Rng& rng)
+    : in_(in_features), out_(out_features),
+      w_(parameter(Matrix::xavier(in_features, out_features, rng))),
+      b_(parameter(Matrix(1, out_features))) {
+  MECSC_CHECK_MSG(in_features > 0 && out_features > 0, "layer sizes must be > 0");
+}
+
+Var Linear::forward(const Var& x) const {
+  MECSC_CHECK_MSG(x->value.cols() == in_, "Linear input width mismatch");
+  return op_add_row(op_matmul(x, w_), b_);
+}
+
+LSTMCell::LSTMCell(std::size_t input_size, std::size_t hidden_size, common::Rng& rng)
+    : input_(input_size), hidden_(hidden_size),
+      w_(parameter(Matrix::xavier(input_size + hidden_size, 4 * hidden_size, rng))),
+      b_(parameter(Matrix(1, 4 * hidden_size))) {
+  MECSC_CHECK_MSG(input_size > 0 && hidden_size > 0, "cell sizes must be > 0");
+  // Standard trick: bias the forget gate positive so early training
+  // retains memory.
+  for (std::size_t j = hidden_; j < 2 * hidden_; ++j) b_->value[j] = 1.0;
+}
+
+LSTMCell::State LSTMCell::initial_state(std::size_t batch) const {
+  return {constant(Matrix(batch, hidden_)), constant(Matrix(batch, hidden_))};
+}
+
+LSTMCell::State LSTMCell::step(const Var& x, const State& prev) const {
+  MECSC_CHECK_MSG(x->value.cols() == input_, "LSTM input width mismatch");
+  Var xs = op_concat_cols(x, prev.h);
+  Var gates = op_add_row(op_matmul(xs, w_), b_);
+  Var i = op_sigmoid(op_slice_cols(gates, 0, hidden_));
+  Var f = op_sigmoid(op_slice_cols(gates, hidden_, 2 * hidden_));
+  Var g = op_tanh(op_slice_cols(gates, 2 * hidden_, 3 * hidden_));
+  Var o = op_sigmoid(op_slice_cols(gates, 3 * hidden_, 4 * hidden_));
+  Var c = op_add(op_hadamard(f, prev.c), op_hadamard(i, g));
+  Var h = op_hadamard(o, op_tanh(c));
+  return {h, c};
+}
+
+LSTM::LSTM(std::size_t input_size, std::size_t hidden_size, common::Rng& rng)
+    : cell_(input_size, hidden_size, rng) {}
+
+std::vector<Var> LSTM::forward(const std::vector<Var>& sequence) const {
+  MECSC_CHECK_MSG(!sequence.empty(), "empty sequence");
+  LSTMCell::State state = cell_.initial_state(sequence.front()->value.rows());
+  std::vector<Var> outputs;
+  outputs.reserve(sequence.size());
+  for (const auto& x : sequence) {
+    state = cell_.step(x, state);
+    outputs.push_back(state.h);
+  }
+  return outputs;
+}
+
+namespace {
+
+/// Shared bidirectional pass: forward states concatenated with the
+/// reversed backward states.
+template <typename Rnn>
+std::vector<Var> bidirectional_forward(const Rnn& fwd, const Rnn& bwd,
+                                       const std::vector<Var>& sequence) {
+  std::vector<Var> f = fwd.forward(sequence);
+  std::vector<Var> reversed(sequence.rbegin(), sequence.rend());
+  std::vector<Var> b = bwd.forward(reversed);
+  std::reverse(b.begin(), b.end());
+  std::vector<Var> out;
+  out.reserve(sequence.size());
+  for (std::size_t t = 0; t < sequence.size(); ++t) {
+    out.push_back(op_concat_cols(f[t], b[t]));
+  }
+  return out;
+}
+
+std::vector<Var> concat_params(std::vector<Var> a, const std::vector<Var>& b) {
+  a.insert(a.end(), b.begin(), b.end());
+  return a;
+}
+
+}  // namespace
+
+BiLSTM::BiLSTM(std::size_t input_size, std::size_t hidden_size, common::Rng& rng)
+    : fwd_(input_size, hidden_size, rng), bwd_(input_size, hidden_size, rng) {}
+
+std::vector<Var> BiLSTM::forward(const std::vector<Var>& sequence) const {
+  return bidirectional_forward(fwd_, bwd_, sequence);
+}
+
+std::vector<Var> BiLSTM::parameters() const {
+  return concat_params(fwd_.parameters(), bwd_.parameters());
+}
+
+GRUCell::GRUCell(std::size_t input_size, std::size_t hidden_size, common::Rng& rng)
+    : input_(input_size), hidden_(hidden_size),
+      w_zr_(parameter(Matrix::xavier(input_size + hidden_size, 2 * hidden_size, rng))),
+      b_zr_(parameter(Matrix(1, 2 * hidden_size))),
+      w_h_(parameter(Matrix::xavier(input_size + hidden_size, hidden_size, rng))),
+      b_h_(parameter(Matrix(1, hidden_size))) {
+  MECSC_CHECK_MSG(input_size > 0 && hidden_size > 0, "cell sizes must be > 0");
+}
+
+Var GRUCell::initial_state(std::size_t batch) const {
+  return constant(Matrix(batch, hidden_));
+}
+
+Var GRUCell::step(const Var& x, const Var& prev_h) const {
+  MECSC_CHECK_MSG(x->value.cols() == input_, "GRU input width mismatch");
+  Var xs = op_concat_cols(x, prev_h);
+  Var gates = op_add_row(op_matmul(xs, w_zr_), b_zr_);
+  Var z = op_sigmoid(op_slice_cols(gates, 0, hidden_));
+  Var r = op_sigmoid(op_slice_cols(gates, hidden_, 2 * hidden_));
+  Var xr = op_concat_cols(x, op_hadamard(r, prev_h));
+  Var h_cand = op_tanh(op_add_row(op_matmul(xr, w_h_), b_h_));
+  // h' = (1 − z) ⊙ h + z ⊙ h̃.
+  Var ones = constant(Matrix(x->value.rows(), hidden_, 1.0));
+  return op_add(op_hadamard(op_sub(ones, z), prev_h), op_hadamard(z, h_cand));
+}
+
+GRU::GRU(std::size_t input_size, std::size_t hidden_size, common::Rng& rng)
+    : cell_(input_size, hidden_size, rng) {}
+
+std::vector<Var> GRU::forward(const std::vector<Var>& sequence) const {
+  MECSC_CHECK_MSG(!sequence.empty(), "empty sequence");
+  Var h = cell_.initial_state(sequence.front()->value.rows());
+  std::vector<Var> outputs;
+  outputs.reserve(sequence.size());
+  for (const auto& x : sequence) {
+    h = cell_.step(x, h);
+    outputs.push_back(h);
+  }
+  return outputs;
+}
+
+BiGRU::BiGRU(std::size_t input_size, std::size_t hidden_size, common::Rng& rng)
+    : fwd_(input_size, hidden_size, rng), bwd_(input_size, hidden_size, rng) {}
+
+std::vector<Var> BiGRU::forward(const std::vector<Var>& sequence) const {
+  return bidirectional_forward(fwd_, bwd_, sequence);
+}
+
+std::vector<Var> BiGRU::parameters() const {
+  return concat_params(fwd_.parameters(), bwd_.parameters());
+}
+
+std::unique_ptr<BiRnn> make_birnn(RnnKind kind, std::size_t input_size,
+                                  std::size_t hidden_size, common::Rng& rng) {
+  switch (kind) {
+    case RnnKind::kGru:
+      return std::make_unique<BiGRU>(input_size, hidden_size, rng);
+    case RnnKind::kLstm:
+      break;
+  }
+  return std::make_unique<BiLSTM>(input_size, hidden_size, rng);
+}
+
+}  // namespace mecsc::nn

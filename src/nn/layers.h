@@ -1,0 +1,169 @@
+#ifndef MECSC_NN_LAYERS_H
+#define MECSC_NN_LAYERS_H
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/autodiff.h"
+
+namespace mecsc::nn {
+
+/// Anything holding trainable parameters.
+class Module {
+ public:
+  virtual ~Module() = default;
+  /// All trainable parameter nodes (for the optimizer).
+  virtual std::vector<Var> parameters() const = 0;
+  /// Total scalar parameter count.
+  std::size_t parameter_count() const;
+  /// Zeroes every parameter gradient.
+  void zero_grad() const;
+};
+
+/// Fully connected layer: y = x·W + b.
+class Linear final : public Module {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, common::Rng& rng);
+
+  Var forward(const Var& x) const;
+  std::vector<Var> parameters() const override { return {w_, b_}; }
+
+  std::size_t in_features() const noexcept { return in_; }
+  std::size_t out_features() const noexcept { return out_; }
+
+ private:
+  std::size_t in_;
+  std::size_t out_;
+  Var w_;  // in × out
+  Var b_;  // 1 × out
+};
+
+/// A standard LSTM cell. Gates are computed from the concatenation
+/// [x, h] with a single (in+hidden) × 4·hidden weight (order: input i,
+/// forget f, cell g, output o).
+class LSTMCell final : public Module {
+ public:
+  LSTMCell(std::size_t input_size, std::size_t hidden_size, common::Rng& rng);
+
+  struct State {
+    Var h;  // batch × hidden
+    Var c;  // batch × hidden
+  };
+
+  /// Zero state for a batch size.
+  State initial_state(std::size_t batch) const;
+  State step(const Var& x, const State& prev) const;
+
+  std::vector<Var> parameters() const override { return {w_, b_}; }
+  std::size_t hidden_size() const noexcept { return hidden_; }
+  std::size_t input_size() const noexcept { return input_; }
+
+ private:
+  std::size_t input_;
+  std::size_t hidden_;
+  Var w_;  // (input+hidden) × 4·hidden
+  Var b_;  // 1 × 4·hidden
+};
+
+/// Unidirectional LSTM over a sequence of batch × input matrices;
+/// returns one hidden state per step.
+class LSTM final : public Module {
+ public:
+  LSTM(std::size_t input_size, std::size_t hidden_size, common::Rng& rng);
+
+  std::vector<Var> forward(const std::vector<Var>& sequence) const;
+  std::vector<Var> parameters() const override { return cell_.parameters(); }
+  std::size_t hidden_size() const noexcept { return cell_.hidden_size(); }
+
+ private:
+  LSTMCell cell_;
+};
+
+/// Interface of a bidirectional recurrent encoder: maps a sequence of
+/// batch × input matrices to one batch × output_size() feature matrix
+/// per step. Implemented by BiLSTM (the paper's choice) and BiGRU (a
+/// lighter alternative compared in `bench_ablation_rnn`).
+class BiRnn : public Module {
+ public:
+  virtual std::vector<Var> forward(const std::vector<Var>& sequence) const = 0;
+  virtual std::size_t output_size() const noexcept = 0;
+};
+
+/// Bidirectional LSTM (paper §V.B: both generator and discriminator use
+/// Bi-LSTM so decisions account for historical *and* future features in
+/// the sample). Output per step is [h_forward ; h_backward]
+/// (batch × 2·hidden).
+class BiLSTM final : public BiRnn {
+ public:
+  BiLSTM(std::size_t input_size, std::size_t hidden_size, common::Rng& rng);
+
+  std::vector<Var> forward(const std::vector<Var>& sequence) const override;
+  std::vector<Var> parameters() const override;
+  /// Output feature width (2·hidden).
+  std::size_t output_size() const noexcept override { return 2 * fwd_.hidden_size(); }
+
+ private:
+  LSTM fwd_;
+  LSTM bwd_;
+};
+
+/// A standard GRU cell: update gate z, reset gate r, candidate h̃.
+/// Three (in+hidden) × hidden weight blocks packed into one matrix.
+class GRUCell final : public Module {
+ public:
+  GRUCell(std::size_t input_size, std::size_t hidden_size, common::Rng& rng);
+
+  Var initial_state(std::size_t batch) const;
+  Var step(const Var& x, const Var& prev_h) const;
+
+  std::vector<Var> parameters() const override { return {w_zr_, b_zr_, w_h_, b_h_}; }
+  std::size_t hidden_size() const noexcept { return hidden_; }
+
+ private:
+  std::size_t input_;
+  std::size_t hidden_;
+  Var w_zr_;  // (input+hidden) × 2·hidden (update z, reset r)
+  Var b_zr_;  // 1 × 2·hidden
+  Var w_h_;   // (input+hidden) × hidden (candidate)
+  Var b_h_;   // 1 × hidden
+};
+
+/// Unidirectional GRU over a sequence.
+class GRU final : public Module {
+ public:
+  GRU(std::size_t input_size, std::size_t hidden_size, common::Rng& rng);
+
+  std::vector<Var> forward(const std::vector<Var>& sequence) const;
+  std::vector<Var> parameters() const override { return cell_.parameters(); }
+  std::size_t hidden_size() const noexcept { return cell_.hidden_size(); }
+
+ private:
+  GRUCell cell_;
+};
+
+/// Bidirectional GRU; drop-in lighter alternative to BiLSTM (~25% fewer
+/// parameters per hidden unit, no cell state).
+class BiGRU final : public BiRnn {
+ public:
+  BiGRU(std::size_t input_size, std::size_t hidden_size, common::Rng& rng);
+
+  std::vector<Var> forward(const std::vector<Var>& sequence) const override;
+  std::vector<Var> parameters() const override;
+  std::size_t output_size() const noexcept override { return 2 * fwd_.hidden_size(); }
+
+ private:
+  GRU fwd_;
+  GRU bwd_;
+};
+
+/// Which recurrent core to instantiate.
+enum class RnnKind { kLstm, kGru };
+
+/// Factory for bidirectional encoders.
+std::unique_ptr<BiRnn> make_birnn(RnnKind kind, std::size_t input_size,
+                                  std::size_t hidden_size, common::Rng& rng);
+
+}  // namespace mecsc::nn
+
+#endif  // MECSC_NN_LAYERS_H

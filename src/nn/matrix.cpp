@@ -1,0 +1,203 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mecsc::nn {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  MECSC_CHECK_MSG(data_.size() == rows * cols, "matrix data size mismatch");
+}
+
+Matrix Matrix::row(std::initializer_list<double> values) {
+  return Matrix(1, values.size(), std::vector<double>(values));
+}
+
+Matrix Matrix::row(const std::vector<double>& values) {
+  return Matrix(1, values.size(), values);
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  MECSC_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  MECSC_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::xavier(std::size_t rows, std::size_t cols, common::Rng& rng) {
+  double limit = std::sqrt(6.0 / static_cast<double>(rows + cols));
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng.uniform(-limit, limit);
+  return m;
+}
+
+Matrix Matrix::randn(std::size_t rows, std::size_t cols, common::Rng& rng,
+                     double stddev) {
+  Matrix m(rows, cols);
+  for (auto& v : m.data_) v = rng.normal(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t.data_[c * rows_ + r] = data_[r * cols_ + c];
+    }
+  }
+  return t;
+}
+
+void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+void Matrix::add_scaled(const Matrix& other, double s) {
+  MECSC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+}
+
+double Matrix::sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::mean() const {
+  return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size());
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  MECSC_CHECK_MSG(a.cols() == b.rows(), "matmul dimension mismatch");
+  Matrix c(a.rows(), b.cols());
+  // i-k-j order: streams through b row-wise for cache friendliness.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      double aik = a[i * a.cols() + k];
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c[i * b.cols() + j] += aik * b[k * b.cols() + j];
+      }
+    }
+  }
+  return c;
+}
+
+namespace {
+void check_same_shape(const Matrix& a, const Matrix& b) {
+  MECSC_CHECK_MSG(a.rows() == b.rows() && a.cols() == b.cols(),
+                  "elementwise op shape mismatch");
+}
+}  // namespace
+
+Matrix add(const Matrix& a, const Matrix& b) {
+  check_same_shape(a, b);
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] += b[i];
+  return c;
+}
+
+Matrix sub(const Matrix& a, const Matrix& b) {
+  check_same_shape(a, b);
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] -= b[i];
+  return c;
+}
+
+Matrix hadamard(const Matrix& a, const Matrix& b) {
+  check_same_shape(a, b);
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] *= b[i];
+  return c;
+}
+
+Matrix add_row_broadcast(const Matrix& a, const Matrix& row) {
+  MECSC_CHECK_MSG(row.rows() == 1 && row.cols() == a.cols(),
+                  "broadcast row shape mismatch");
+  Matrix c = a;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t j = 0; j < a.cols(); ++j) c[r * a.cols() + j] += row[j];
+  }
+  return c;
+}
+
+Matrix scale(const Matrix& a, double s) {
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] *= s;
+  return c;
+}
+
+Matrix concat_cols(const Matrix& a, const Matrix& b) {
+  MECSC_CHECK_MSG(a.rows() == b.rows(), "concat_cols row mismatch");
+  Matrix c(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t j = 0; j < a.cols(); ++j) c.at(r, j) = a.at(r, j);
+    for (std::size_t j = 0; j < b.cols(); ++j) c.at(r, a.cols() + j) = b.at(r, j);
+  }
+  return c;
+}
+
+Matrix slice_cols(const Matrix& a, std::size_t begin, std::size_t end) {
+  MECSC_CHECK_MSG(begin < end && end <= a.cols(), "slice_cols range invalid");
+  Matrix c(a.rows(), end - begin);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t j = begin; j < end; ++j) c.at(r, j - begin) = a.at(r, j);
+  }
+  return c;
+}
+
+Matrix map_sigmoid(const Matrix& a) {
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = 1.0 / (1.0 + std::exp(-c[i]));
+  return c;
+}
+
+Matrix map_tanh(const Matrix& a) {
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = std::tanh(c[i]);
+  return c;
+}
+
+Matrix map_relu(const Matrix& a) {
+  Matrix c = a;
+  for (std::size_t i = 0; i < c.size(); ++i) c[i] = std::max(0.0, c[i]);
+  return c;
+}
+
+Matrix softmax_rows(const Matrix& a) {
+  Matrix c = a;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    double mx = -1e300;
+    for (std::size_t j = 0; j < a.cols(); ++j) mx = std::max(mx, c.at(r, j));
+    double denom = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      c.at(r, j) = std::exp(c.at(r, j) - mx);
+      denom += c.at(r, j);
+    }
+    for (std::size_t j = 0; j < a.cols(); ++j) c.at(r, j) /= denom;
+  }
+  return c;
+}
+
+Matrix col_sums(const Matrix& a) {
+  Matrix c(1, a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t j = 0; j < a.cols(); ++j) c[j] += a.at(r, j);
+  }
+  return c;
+}
+
+}  // namespace mecsc::nn

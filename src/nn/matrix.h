@@ -1,0 +1,83 @@
+#ifndef MECSC_NN_MATRIX_H
+#define MECSC_NN_MATRIX_H
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace mecsc::nn {
+
+/// Dense row-major 2-D matrix of doubles — the only tensor shape the
+/// Info-RNN-GAN needs (batch × features per time step; sequences are
+/// vectors of matrices).
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+  /// 1×n row vector from an initializer list.
+  static Matrix row(std::initializer_list<double> values);
+  static Matrix row(const std::vector<double>& values);
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+  double& operator[](std::size_t i) { return data_[i]; }
+  double operator[](std::size_t i) const { return data_[i]; }
+
+  const std::vector<double>& data() const noexcept { return data_; }
+  std::vector<double>& data() noexcept { return data_; }
+
+  /// Xavier/Glorot-uniform initialisation (for layer weights).
+  static Matrix xavier(std::size_t rows, std::size_t cols, common::Rng& rng);
+  /// I.i.d. normal entries.
+  static Matrix randn(std::size_t rows, std::size_t cols, common::Rng& rng,
+                      double stddev = 1.0);
+
+  Matrix transposed() const;
+
+  // In-place helpers used by the optimizer.
+  void fill(double v);
+  void add_scaled(const Matrix& other, double scale);  // this += scale*other
+
+  double sum() const;
+  double mean() const;
+  double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A·B. Dimensions must agree.
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// Elementwise binary ops; dimensions must match.
+Matrix add(const Matrix& a, const Matrix& b);
+Matrix sub(const Matrix& a, const Matrix& b);
+Matrix hadamard(const Matrix& a, const Matrix& b);
+/// Adds a 1×cols row vector to every row of a.
+Matrix add_row_broadcast(const Matrix& a, const Matrix& row);
+Matrix scale(const Matrix& a, double s);
+/// Concatenates along columns (same row count).
+Matrix concat_cols(const Matrix& a, const Matrix& b);
+/// Columns [begin, end) of a.
+Matrix slice_cols(const Matrix& a, std::size_t begin, std::size_t end);
+/// Elementwise map helpers.
+Matrix map_sigmoid(const Matrix& a);
+Matrix map_tanh(const Matrix& a);
+Matrix map_relu(const Matrix& a);
+/// Row-wise softmax.
+Matrix softmax_rows(const Matrix& a);
+/// Column sums: 1×cols.
+Matrix col_sums(const Matrix& a);
+
+}  // namespace mecsc::nn
+
+#endif  // MECSC_NN_MATRIX_H

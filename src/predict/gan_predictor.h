@@ -1,0 +1,61 @@
+#ifndef MECSC_PREDICT_GAN_PREDICTOR_H
+#define MECSC_PREDICT_GAN_PREDICTOR_H
+
+#include <memory>
+#include <vector>
+
+#include "gan/info_rnn_gan.h"
+#include "predict/predictor.h"
+#include "workload/request.h"
+#include "workload/trace.h"
+
+namespace mecsc::predict {
+
+/// Tunables of the GAN demand predictor.
+struct GanPredictorOptions {
+  gan::InfoRnnGanConfig gan;
+  /// Adversarial training steps on the historical trace at construction.
+  std::size_t train_steps = 300;
+  /// Headroom above the largest trace demand when normalizing to [0,1]
+  /// (predictions can exceed anything seen in the small sample).
+  double scale_headroom = 1.3;
+};
+
+/// The OL_GAN demand predictor (paper §V): an Info-RNN-GAN trained on a
+/// small-sample historical trace predicts every request's next-slot
+/// demand, conditioned on the request's own recent history (teacher
+/// forcing) and its location cluster's one-hot code — the InfoGAN latent
+/// C ("users in the same location may have similar distributions of
+/// their data volumes", §V.A).
+///
+/// Training data are the gap-filled per-user series of the trace, each
+/// labelled with its user's cluster code, normalized to [0,1] by a
+/// single global scale owned here.
+class GanDemandPredictor final : public DemandPredictor {
+ public:
+  /// Trains the GAN on `trace` at construction. `requests` provides each
+  /// request's cluster code and basic demand (fallback / history seed).
+  GanDemandPredictor(const std::vector<workload::Request>& requests,
+                     const workload::Trace& trace, GanPredictorOptions options,
+                     std::uint64_t seed);
+
+  std::string name() const override { return "info-rnn-gan"; }
+  std::vector<double> predict(std::size_t t) override;
+  void observe(std::size_t t, const std::vector<double>& demands) override;
+
+  double scale() const noexcept { return scale_; }
+  gan::InfoRnnGan& model() noexcept { return *gan_; }
+
+ private:
+  std::vector<std::size_t> cluster_of_request_;
+  std::vector<double> fallback_;
+  /// Per-request observed demand history, normalized; seeded from the
+  /// trace's per-user series.
+  std::vector<std::vector<double>> history_;
+  double scale_ = 1.0;
+  std::unique_ptr<gan::InfoRnnGan> gan_;
+};
+
+}  // namespace mecsc::predict
+
+#endif  // MECSC_PREDICT_GAN_PREDICTOR_H

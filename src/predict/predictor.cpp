@@ -1,0 +1,114 @@
+#include "predict/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mecsc::predict {
+
+OraclePredictor::OraclePredictor(const workload::DemandMatrix* demands)
+    : demands_(demands) {
+  MECSC_CHECK_MSG(demands_ != nullptr, "null demand matrix");
+}
+
+std::vector<double> OraclePredictor::predict(std::size_t t) {
+  MECSC_CHECK_MSG(t < demands_->horizon(), "slot beyond demand horizon");
+  return demands_->slot(t);
+}
+
+LastValuePredictor::LastValuePredictor(std::vector<double> fallback)
+    : last_(std::move(fallback)) {
+  MECSC_CHECK_MSG(!last_.empty(), "empty fallback");
+}
+
+std::vector<double> LastValuePredictor::predict(std::size_t) { return last_; }
+
+void LastValuePredictor::observe(std::size_t, const std::vector<double>& demands) {
+  MECSC_CHECK_MSG(demands.size() == last_.size(), "demand size mismatch");
+  last_ = demands;
+  seen_any_ = true;
+}
+
+namespace {
+
+std::vector<double> linear_decay_weights(std::size_t order) {
+  MECSC_CHECK_MSG(order > 0, "ARMA order must be > 0");
+  // a_i ∝ (p − i + 1): most recent slot weighted heaviest, nonincreasing,
+  // normalized to 1 (the Eq. 27 constraints).
+  std::vector<double> w(order);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < order; ++i) {
+    w[i] = static_cast<double>(order - i);
+    sum += w[i];
+  }
+  for (auto& v : w) v /= sum;
+  return w;
+}
+
+void validate_weights(const std::vector<double>& w) {
+  MECSC_CHECK_MSG(!w.empty(), "ARMA weights empty");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    MECSC_CHECK_MSG(w[i] >= 0.0 && w[i] <= 1.0, "ARMA weight out of [0,1]");
+    if (i > 0) MECSC_CHECK_MSG(w[i] <= w[i - 1] + 1e-12, "ARMA weights must be nonincreasing");
+    sum += w[i];
+  }
+  MECSC_CHECK_MSG(std::abs(sum - 1.0) < 1e-9, "ARMA weights must sum to 1");
+}
+
+}  // namespace
+
+ArmaPredictor::ArmaPredictor(std::size_t order, std::vector<double> fallback)
+    : ArmaPredictor(linear_decay_weights(order), std::move(fallback)) {}
+
+ArmaPredictor::ArmaPredictor(std::vector<double> weights, std::vector<double> fallback)
+    : weights_(std::move(weights)), fallback_(std::move(fallback)) {
+  validate_weights(weights_);
+  MECSC_CHECK_MSG(!fallback_.empty(), "empty fallback");
+  history_.resize(fallback_.size());
+}
+
+std::vector<double> ArmaPredictor::predict(std::size_t) {
+  std::vector<double> out(fallback_.size());
+  for (std::size_t l = 0; l < fallback_.size(); ++l) {
+    const auto& h = history_[l];
+    if (h.empty()) {
+      out[l] = fallback_[l];
+      continue;
+    }
+    // Use as many of the p weights as history allows; renormalize over
+    // the available prefix.
+    std::size_t avail = std::min(h.size(), weights_.size());
+    double v = 0.0;
+    double wsum = 0.0;
+    for (std::size_t i = 0; i < avail; ++i) {
+      double w = weights_[i];
+      v += w * h[h.size() - 1 - i];
+      wsum += w;
+    }
+    out[l] = wsum > 0.0 ? v / wsum : fallback_[l];
+  }
+  return out;
+}
+
+void ArmaPredictor::observe(std::size_t, const std::vector<double>& demands) {
+  MECSC_CHECK_MSG(demands.size() == history_.size(), "demand size mismatch");
+  for (std::size_t l = 0; l < demands.size(); ++l) {
+    history_[l].push_back(demands[l]);
+    if (history_[l].size() > weights_.size()) {
+      history_[l].erase(history_[l].begin());
+    }
+  }
+}
+
+double mean_absolute_error(const std::vector<double>& predicted,
+                           const std::vector<double>& truth) {
+  MECSC_CHECK_MSG(predicted.size() == truth.size() && !truth.empty(),
+                  "MAE size mismatch");
+  double s = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) s += std::abs(predicted[i] - truth[i]);
+  return s / static_cast<double>(truth.size());
+}
+
+}  // namespace mecsc::predict

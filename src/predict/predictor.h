@@ -1,0 +1,86 @@
+#ifndef MECSC_PREDICT_PREDICTOR_H
+#define MECSC_PREDICT_PREDICTOR_H
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "workload/demand_model.h"
+
+namespace mecsc::predict {
+
+/// Predicts the next slot's demand vector ρ(t) for all requests, learning
+/// online from the realised demands of past slots.
+///
+/// Protocol per slot t: the algorithm calls predict(t) before deciding,
+/// the simulator realises the true demands, then observe(t, truth) runs.
+class DemandPredictor {
+ public:
+  virtual ~DemandPredictor() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Demands predicted for slot t (size = number of requests).
+  virtual std::vector<double> predict(std::size_t t) = 0;
+
+  /// Ground truth of slot t, revealed after the decision.
+  virtual void observe(std::size_t t, const std::vector<double>& demands) = 0;
+};
+
+/// Perfect predictor (upper bound): reads the realised demand matrix.
+class OraclePredictor final : public DemandPredictor {
+ public:
+  explicit OraclePredictor(const workload::DemandMatrix* demands);
+  std::string name() const override { return "oracle"; }
+  std::vector<double> predict(std::size_t t) override;
+  void observe(std::size_t, const std::vector<double>&) override {}
+
+ private:
+  const workload::DemandMatrix* demands_;  // non-owning
+};
+
+/// Predicts each request's demand as its last observed value (naive
+/// baseline; equals ARMA with p = 1).
+class LastValuePredictor final : public DemandPredictor {
+ public:
+  /// `fallback` is returned before any observation (per request).
+  explicit LastValuePredictor(std::vector<double> fallback);
+  std::string name() const override { return "last-value"; }
+  std::vector<double> predict(std::size_t t) override;
+  void observe(std::size_t t, const std::vector<double>& demands) override;
+
+ private:
+  std::vector<double> last_;
+  bool seen_any_ = false;
+};
+
+/// The paper's OL_Reg baseline predictor (Eq. 27): an autoregressive
+/// moving average over the previous p observations with fixed weights
+/// a_1 >= a_2 >= ... >= a_p, Σ a = 1. Default weights decay linearly.
+class ArmaPredictor final : public DemandPredictor {
+ public:
+  /// `fallback` is the prediction before enough history exists.
+  ArmaPredictor(std::size_t order, std::vector<double> fallback);
+  /// Custom weights (validated: non-negative, nonincreasing, sum 1).
+  ArmaPredictor(std::vector<double> weights, std::vector<double> fallback);
+
+  std::string name() const override { return "arma"; }
+  std::vector<double> predict(std::size_t t) override;
+  void observe(std::size_t t, const std::vector<double>& demands) override;
+
+  const std::vector<double>& weights() const noexcept { return weights_; }
+
+ private:
+  std::vector<double> weights_;               // a_1 (most recent) .. a_p
+  std::vector<std::vector<double>> history_;  // per request, most recent last
+  std::vector<double> fallback_;
+};
+
+/// Mean absolute error between predicted and true series — the
+/// predictor-accuracy ablation metric.
+double mean_absolute_error(const std::vector<double>& predicted,
+                           const std::vector<double>& truth);
+
+}  // namespace mecsc::predict
+
+#endif  // MECSC_PREDICT_PREDICTOR_H

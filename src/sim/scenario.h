@@ -1,0 +1,104 @@
+#ifndef MECSC_SIM_SCENARIO_H
+#define MECSC_SIM_SCENARIO_H
+
+#include <memory>
+#include <vector>
+
+#include "core/problem.h"
+#include "net/delay_process.h"
+#include "net/generators.h"
+#include "sim/simulator.h"
+#include "workload/trace.h"
+
+namespace mecsc::sim {
+
+/// Everything needed to reproduce one experimental point of §VI.
+struct ScenarioParams {
+  enum class NetKind { kGtItm, kAs1755 };
+  NetKind net = NetKind::kGtItm;
+  std::size_t num_stations = 100;
+  std::size_t horizon = 100;
+  /// Bursty (unknown) demands (Figs. 6-7) vs constant given demands
+  /// (Figs. 3-5).
+  bool bursty = false;
+  net::DelayModelKind delay_kind = net::DelayModelKind::kUniform;
+  workload::WorkloadParams workload;
+  core::ProblemOptions problem;
+  /// Fraction of the historical trace kept as the predictors' training
+  /// sample (the paper's small-sample regime).
+  double trace_sample_fraction = 0.35;
+  /// Length of the historical (pre-run) period the trace covers.
+  std::size_t history_horizon = 96;
+  /// Enable per-slot hindsight-optimum computation (slow; regret benches
+  /// only).
+  bool track_regret = false;
+  std::uint64_t seed = 1;
+};
+
+/// A fully materialised scenario: topology, workload, problem instance,
+/// realised demands and delays for the run horizon, a small-sample
+/// historical trace for predictor training, and a ready simulator.
+///
+/// Heap-held members keep the addresses the problem/simulator point at
+/// stable; the struct itself is movable.
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioParams& params);
+
+  const ScenarioParams& params() const noexcept { return params_; }
+  const net::Topology& topology() const noexcept { return *topology_; }
+  const core::CachingProblem& problem() const noexcept { return *problem_; }
+  const workload::Workload& workload() const noexcept { return workload_; }
+  const workload::DemandMatrix& demands() const noexcept { return *demands_; }
+  const workload::Trace& trace() const noexcept { return *trace_; }
+  const Simulator& simulator() const noexcept { return *simulator_; }
+
+  /// Mutable views for mobility experiments: the simulator's before-slot
+  /// hook applies the slot's user states via
+  /// CachingProblem::update_user_locations.
+  Simulator& mutable_simulator() noexcept { return *simulator_; }
+  core::CachingProblem& mutable_problem() noexcept { return *problem_; }
+
+  /// Midpoint of the delay model's global [d_min, d_max] — the natural
+  /// θ prior (the paper assumes both bounds known, Lemma 1).
+  double theta_prior() const noexcept { return theta_prior_; }
+
+  /// One stale past measurement of every station's delay process, drawn
+  /// before the run horizon — the "historical information of processing
+  /// latencies" the paper's Greedy_GD / Pri_GD baselines operate on.
+  const std::vector<double>& historical_delay_estimates() const noexcept {
+    return historical_estimates_;
+  }
+  double d_min() const noexcept { return d_min_; }
+  double d_max() const noexcept { return d_max_; }
+
+  /// True when C_unit was automatically lowered from the requested value
+  /// so the burstiest realised slot keeps the paper's §III.E feasibility
+  /// assumption (worst slot ≤ 90% of aggregate capacity; every request
+  /// fits the largest station). The effective value is
+  /// `problem().options().c_unit_mhz`.
+  bool c_unit_derated() const noexcept { return c_unit_derated_; }
+
+  /// Fresh deterministic seed derived from the scenario seed (for
+  /// algorithm instances).
+  std::uint64_t algorithm_seed(std::size_t index) const;
+
+ private:
+  ScenarioParams params_;
+  std::unique_ptr<net::Topology> topology_;
+  workload::Workload workload_;
+  std::unique_ptr<core::CachingProblem> problem_;
+  std::unique_ptr<workload::DemandMatrix> demands_;
+  std::unique_ptr<workload::Trace> trace_;
+  std::unique_ptr<Simulator> simulator_;
+  double theta_prior_ = 0.0;
+  double d_min_ = 0.0;
+  double d_max_ = 0.0;
+  std::vector<double> historical_estimates_;
+  bool c_unit_derated_ = false;
+  std::uint64_t algo_seed_root_ = 0;
+};
+
+}  // namespace mecsc::sim
+
+#endif  // MECSC_SIM_SCENARIO_H

@@ -1,0 +1,105 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+
+namespace mecsc::sim {
+
+double RunResult::mean_delay_ms() const {
+  if (slots.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& r : slots) s += r.avg_delay_ms;
+  return s / static_cast<double>(slots.size());
+}
+
+double RunResult::mean_delay_incremental_ms() const {
+  if (slots.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& r : slots) s += r.avg_delay_incremental_ms;
+  return s / static_cast<double>(slots.size());
+}
+
+double RunResult::total_decision_time_ms() const {
+  double s = 0.0;
+  for (const auto& r : slots) s += r.decision_time_ms;
+  return s;
+}
+
+double RunResult::mean_decision_time_ms() const {
+  return slots.empty() ? 0.0
+                       : total_decision_time_ms() / static_cast<double>(slots.size());
+}
+
+double RunResult::total_capacity_violation_mhz() const {
+  double s = 0.0;
+  for (const auto& r : slots) s += r.capacity_violation_mhz;
+  return s;
+}
+
+double RunResult::tail_mean_delay_ms(std::size_t n) const {
+  if (slots.empty()) return 0.0;
+  n = std::min(n, slots.size());
+  double s = 0.0;
+  for (std::size_t i = slots.size() - n; i < slots.size(); ++i) {
+    s += slots[i].avg_delay_ms;
+  }
+  return s / static_cast<double>(n);
+}
+
+Simulator::Simulator(const core::CachingProblem& problem,
+                     const workload::DemandMatrix* demands,
+                     std::vector<std::vector<double>> unit_delays,
+                     bool track_regret)
+    : problem_(&problem),
+      demands_(demands),
+      unit_delays_(std::move(unit_delays)),
+      track_regret_(track_regret) {
+  MECSC_CHECK_MSG(demands_ != nullptr, "null demand matrix");
+  MECSC_CHECK_MSG(demands_->num_requests() == problem.num_requests(),
+                  "demand matrix / problem size mismatch");
+  MECSC_CHECK_MSG(!unit_delays_.empty(), "no realised delays");
+  for (const auto& d : unit_delays_) {
+    MECSC_CHECK_MSG(d.size() == problem.num_stations(),
+                    "unit delay vector size mismatch");
+  }
+  horizon_ = std::min(demands_->horizon(), unit_delays_.size());
+}
+
+RunResult Simulator::run(algorithms::CachingAlgorithm& algorithm) const {
+  RunResult result;
+  result.algorithm = algorithm.name();
+  result.slots.reserve(horizon_);
+
+  std::optional<core::RegretTracker> regret;
+  if (track_regret_) regret.emplace(*problem_);
+
+  std::vector<std::vector<bool>> prev_cached;  // empty at slot 0
+  for (std::size_t t = 0; t < horizon_; ++t) {
+    if (before_slot_) before_slot_(t);
+    common::Stopwatch watch;
+    core::Assignment decision = algorithm.decide(t);
+    double decision_ms = watch.elapsed_ms();
+
+    std::vector<double> truth = demands_->slot(t);
+    const std::vector<double>& delays = unit_delays_[t];
+
+    SlotRecord rec;
+    rec.decision_time_ms = decision_ms;
+    rec.avg_delay_ms =
+        core::realized_average_delay(*problem_, decision, truth, delays);
+    rec.avg_delay_incremental_ms = core::realized_average_delay_incremental(
+        *problem_, decision, prev_cached, truth, delays);
+    rec.capacity_violation_mhz = core::capacity_violation(*problem_, decision, truth);
+    result.slots.push_back(rec);
+    prev_cached = decision.cached;
+
+    if (regret) regret->record(rec.avg_delay_ms, truth, delays);
+    algorithm.observe(t, decision, truth, delays);
+  }
+  if (regret) result.cumulative_regret = regret->cumulative_series();
+  return result;
+}
+
+}  // namespace mecsc::sim

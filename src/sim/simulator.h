@@ -1,0 +1,84 @@
+#ifndef MECSC_SIM_SIMULATOR_H
+#define MECSC_SIM_SIMULATOR_H
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithm.h"
+#include "core/problem.h"
+#include "core/regret.h"
+#include "workload/demand_model.h"
+
+namespace mecsc::sim {
+
+/// Metrics of one simulated slot.
+struct SlotRecord {
+  double avg_delay_ms = 0.0;        // realised Eq. 3 objective
+  /// Realised delay charging instantiation only for instances newly
+  /// cached this slot (operational accounting; see
+  /// realized_average_delay_incremental).
+  double avg_delay_incremental_ms = 0.0;
+  double decision_time_ms = 0.0;    // wall-clock of the algorithm's decide()
+  double capacity_violation_mhz = 0.0;
+};
+
+/// Result of running one algorithm over the horizon.
+struct RunResult {
+  std::string algorithm;
+  std::vector<SlotRecord> slots;
+  /// Filled when regret tracking is enabled.
+  std::vector<double> cumulative_regret;
+
+  double mean_delay_ms() const;
+  double mean_delay_incremental_ms() const;
+  double total_decision_time_ms() const;
+  double mean_decision_time_ms() const;
+  double total_capacity_violation_mhz() const;
+  /// Mean delay over the last `n` slots (steady-state view).
+  double tail_mean_delay_ms(std::size_t n) const;
+};
+
+/// Time-slotted driver (paper §III): per slot it asks the algorithm to
+/// decide, realises the slot's true demands and unit delays, scores the
+/// decision ex post (Eq. 3 with realised values), and reveals the slot's
+/// ground truth to the algorithm.
+///
+/// The true demand matrix and the realised per-slot unit delays are
+/// fixed at construction so every algorithm is compared on identical
+/// sample paths.
+class Simulator {
+ public:
+  /// unit_delays[t][i] = realised d_i(t). Horizon = min(demands horizon,
+  /// unit_delays size).
+  Simulator(const core::CachingProblem& problem,
+            const workload::DemandMatrix* demands,
+            std::vector<std::vector<double>> unit_delays,
+            bool track_regret = false);
+
+  std::size_t horizon() const noexcept { return horizon_; }
+
+  /// Hook invoked before every slot's decide() — used by mobility
+  /// experiments to apply the slot's user states
+  /// (CachingProblem::update_user_locations). The same hook runs for
+  /// every algorithm, keeping sample paths identical.
+  void set_before_slot(std::function<void(std::size_t)> hook) {
+    before_slot_ = std::move(hook);
+  }
+
+  /// Runs one algorithm over the full horizon.
+  RunResult run(algorithms::CachingAlgorithm& algorithm) const;
+
+ private:
+  const core::CachingProblem* problem_;
+  const workload::DemandMatrix* demands_;
+  std::vector<std::vector<double>> unit_delays_;
+  std::size_t horizon_;
+  bool track_regret_;
+  std::function<void(std::size_t)> before_slot_;
+};
+
+}  // namespace mecsc::sim
+
+#endif  // MECSC_SIM_SIMULATOR_H

@@ -1,0 +1,54 @@
+#include "workload/mobility.h"
+
+#include "common/error.h"
+#include "workload/trace.h"
+
+namespace mecsc::workload {
+
+MobilityModel::MobilityModel(MobilityParams params,
+                             std::vector<std::pair<double, double>> cluster_centers)
+    : params_(params), centers_(std::move(cluster_centers)) {
+  MECSC_CHECK_MSG(!centers_.empty(), "mobility needs at least one hotspot");
+  MECSC_CHECK_MSG(params_.relocate_probability >= 0.0 &&
+                      params_.relocate_probability <= 1.0,
+                  "relocate probability out of [0,1]");
+  MECSC_CHECK_MSG(params_.wander_sigma_m >= 0.0, "negative wander sigma");
+  MECSC_CHECK_MSG(params_.arrival_sigma_m >= 0.0, "negative arrival sigma");
+}
+
+void MobilityModel::step(std::vector<Request>& users,
+                         const net::Topology& topology,
+                         common::Rng& rng) const {
+  for (auto& u : users) {
+    MECSC_CHECK_MSG(u.location_cluster < centers_.size(),
+                    "user cluster outside the mobility model's hotspots");
+    if (centers_.size() > 1 && rng.bernoulli(params_.relocate_probability)) {
+      // Relocate to a uniformly random *other* hotspot.
+      std::size_t target = rng.index(centers_.size() - 1);
+      if (target >= u.location_cluster) ++target;
+      u.location_cluster = target;
+      u.x_m = centers_[target].first + rng.normal(0.0, params_.arrival_sigma_m);
+      u.y_m = centers_[target].second + rng.normal(0.0, params_.arrival_sigma_m);
+    } else {
+      u.x_m += rng.normal(0.0, params_.wander_sigma_m);
+      u.y_m += rng.normal(0.0, params_.wander_sigma_m);
+    }
+    u.home_station = nearest_home_station(topology, u.x_m, u.y_m);
+  }
+}
+
+std::vector<std::vector<Request>> MobilityModel::unroll(
+    std::vector<Request> users, const net::Topology& topology,
+    std::size_t horizon, common::Rng& rng) const {
+  MECSC_CHECK_MSG(horizon > 0, "horizon must be > 0");
+  std::vector<std::vector<Request>> states;
+  states.reserve(horizon);
+  states.push_back(users);
+  for (std::size_t t = 1; t < horizon; ++t) {
+    step(users, topology, rng);
+    states.push_back(users);
+  }
+  return states;
+}
+
+}  // namespace mecsc::workload

@@ -1,0 +1,61 @@
+#ifndef MECSC_WORKLOAD_MOBILITY_H
+#define MECSC_WORKLOAD_MOBILITY_H
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/topology.h"
+#include "workload/request.h"
+
+namespace mecsc::workload {
+
+/// Parameters of the hotspot-hopping mobility model.
+struct MobilityParams {
+  /// Per-user per-slot probability of relocating to a different hotspot
+  /// (commuting between points of interest).
+  double relocate_probability = 0.03;
+  /// Per-slot Gaussian jitter (metres) while staying at a hotspot.
+  double wander_sigma_m = 3.0;
+  /// Spread (metres) around the destination hotspot centre after a
+  /// relocation.
+  double arrival_sigma_m = 40.0;
+};
+
+/// User mobility between hotspots (paper §I: user locations and
+/// "mobility patterns" are the hidden features behind demand
+/// uncertainty). Each slot a user either wanders locally or relocates to
+/// a uniformly random other hotspot; its location cluster and home base
+/// station are updated accordingly.
+///
+/// The model mutates Request objects in place, so a precomputed
+/// per-slot sequence of request states (see `unroll`) lets several
+/// algorithms replay the identical mobility path.
+class MobilityModel {
+ public:
+  MobilityModel(MobilityParams params,
+                std::vector<std::pair<double, double>> cluster_centers);
+
+  const MobilityParams& params() const noexcept { return params_; }
+  std::size_t num_clusters() const noexcept { return centers_.size(); }
+
+  /// Advances every user one slot.
+  void step(std::vector<Request>& users, const net::Topology& topology,
+            common::Rng& rng) const;
+
+  /// Precomputes `horizon` per-slot user states starting from `users`
+  /// (entry t holds the states in force during slot t; entry 0 is the
+  /// initial state, i.e. the first step happens before slot 1).
+  std::vector<std::vector<Request>> unroll(std::vector<Request> users,
+                                           const net::Topology& topology,
+                                           std::size_t horizon,
+                                           common::Rng& rng) const;
+
+ private:
+  MobilityParams params_;
+  std::vector<std::pair<double, double>> centers_;
+};
+
+}  // namespace mecsc::workload
+
+#endif  // MECSC_WORKLOAD_MOBILITY_H

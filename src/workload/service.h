@@ -1,0 +1,25 @@
+#ifndef MECSC_WORKLOAD_SERVICE_H
+#define MECSC_WORKLOAD_SERVICE_H
+
+#include <cstddef>
+#include <string>
+
+namespace mecsc::workload {
+
+/// A network service S_k originally hosted in a remote data centre and
+/// cacheable into base stations (paper §III.C): VR rendering, cloud
+/// gaming, IoT analytics, ...
+struct Service {
+  std::size_t id = 0;
+  std::string name;
+  /// Base instantiation delay (ms) of spinning up this service's
+  /// VM/container. The per-station instantiation delay d_ins[i][k] is
+  /// this base scaled by a station-dependent factor (see
+  /// core::CachingProblem), matching the paper's "instantiation times of
+  /// different services in different base stations may vary".
+  double base_instantiation_ms = 0.0;
+};
+
+}  // namespace mecsc::workload
+
+#endif  // MECSC_WORKLOAD_SERVICE_H

@@ -1,0 +1,306 @@
+// Failure injection and degenerate-input tests: the library must fail
+// loudly on broken inputs and keep working at the edges of its domain
+// (single station, zero bursty demand, delay spikes, tiny GANs, ...).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "algorithms/baselines.h"
+#include "algorithms/ol_gd.h"
+#include "common/error.h"
+#include "core/fractional_solver.h"
+#include "core/lp_formulation.h"
+#include "gan/info_rnn_gan.h"
+#include "net/delay_process.h"
+#include "net/generators.h"
+#include "predict/gan_predictor.h"
+#include "sim/scenario.h"
+
+namespace mecsc {
+namespace {
+
+// ---------------------------------------------------------------------
+// Loud failures on broken inputs.
+// ---------------------------------------------------------------------
+
+TEST(FailureInjection, ScenarioRejectsZeroHorizon) {
+  sim::ScenarioParams p;
+  p.horizon = 0;
+  EXPECT_THROW(sim::Scenario{p}, common::InvalidArgument);
+}
+
+TEST(FailureInjection, ScenarioDeratesOverloadedWorkload) {
+  // 400 requests on 5 stations cannot fit at the default C_unit; the
+  // scenario derates C_unit deterministically instead of failing, and
+  // says so.
+  sim::ScenarioParams p;
+  p.num_stations = 5;
+  p.horizon = 4;
+  p.workload.num_requests = 400;
+  p.seed = 3;
+  sim::Scenario s(p);
+  EXPECT_TRUE(s.c_unit_derated());
+  EXPECT_LT(s.problem().options().c_unit_mhz, p.problem.c_unit_mhz);
+  // And the derated instance really is feasible on every slot.
+  for (std::size_t t = 0; t < p.horizon; ++t) {
+    EXPECT_NO_THROW(s.problem().check_capacity_feasible(s.demands().slot(t)));
+  }
+}
+
+TEST(FailureInjection, ScenarioKeepsRequestedCUnitWhenFeasible) {
+  sim::ScenarioParams p;
+  p.num_stations = 40;
+  p.horizon = 4;
+  p.workload.num_requests = 10;
+  p.seed = 5;
+  sim::Scenario s(p);
+  EXPECT_FALSE(s.c_unit_derated());
+  EXPECT_DOUBLE_EQ(s.problem().options().c_unit_mhz, p.problem.c_unit_mhz);
+}
+
+TEST(FailureInjection, ProblemRejectsForeignRequests) {
+  common::Rng rng(1);
+  net::GtItmParams gp;
+  gp.num_stations = 5;
+  net::Topology topo = net::generate_gtitm_like(gp, rng);
+  workload::WorkloadParams wp;
+  wp.num_requests = 3;
+  workload::Workload w = workload::make_workload(topo, wp, rng, false);
+  w.requests[0].service_id = 99;  // unknown service
+  EXPECT_THROW(core::CachingProblem(&topo, w.services, w.requests,
+                                    core::ProblemOptions{}, rng),
+               common::InvalidArgument);
+}
+
+TEST(FailureInjection, ProblemRejectsBadOptions) {
+  common::Rng rng(2);
+  net::GtItmParams gp;
+  gp.num_stations = 5;
+  net::Topology topo = net::generate_gtitm_like(gp, rng);
+  workload::WorkloadParams wp;
+  wp.num_requests = 3;
+  workload::Workload w = workload::make_workload(topo, wp, rng, false);
+  core::ProblemOptions bad;
+  bad.c_unit_mhz = 0.0;
+  EXPECT_THROW(core::CachingProblem(&topo, w.services, w.requests, bad, rng),
+               common::InvalidArgument);
+}
+
+TEST(FailureInjection, OlGdRejectsMismatchedDemandMatrix) {
+  sim::ScenarioParams p;
+  p.num_stations = 10;
+  p.horizon = 4;
+  p.workload.num_requests = 8;
+  p.seed = 5;
+  sim::Scenario s(p);
+  workload::DemandMatrix wrong(3, 4);  // wrong request count
+  EXPECT_THROW(algorithms::OnlineCachingAlgorithm("x", s.problem(), &wrong,
+                                                  algorithms::OlOptions{}, 1),
+               common::InvalidArgument);
+}
+
+TEST(FailureInjection, BaselinesRejectWrongEstimateCount) {
+  sim::ScenarioParams p;
+  p.num_stations = 10;
+  p.horizon = 4;
+  p.workload.num_requests = 8;
+  p.seed = 7;
+  sim::Scenario s(p);
+  EXPECT_THROW(
+      algorithms::make_greedy_gd(s.problem(), s.demands(), {1.0, 2.0}),
+      common::InvalidArgument);
+  std::vector<double> negative(10, -1.0);
+  EXPECT_THROW(algorithms::make_pri_gd(s.problem(), s.demands(), negative),
+               common::InvalidArgument);
+}
+
+TEST(FailureInjection, GanPredictorRejectsForeignCluster) {
+  sim::ScenarioParams p;
+  p.num_stations = 10;
+  p.horizon = 4;
+  p.bursty = true;
+  p.workload.num_requests = 8;
+  p.workload.num_clusters = 4;
+  p.seed = 9;
+  sim::Scenario s(p);
+  auto requests = s.workload().requests;
+  requests[0].location_cluster = 99;
+  predict::GanPredictorOptions o;
+  o.train_steps = 1;
+  EXPECT_THROW(predict::GanDemandPredictor(requests, s.trace(), o, 1),
+               common::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------
+// Degenerate-but-legal domains keep working.
+// ---------------------------------------------------------------------
+
+TEST(EdgeCases, SingleRequestSingleService) {
+  sim::ScenarioParams p;
+  p.num_stations = 6;
+  p.horizon = 5;
+  p.workload.num_requests = 1;
+  p.workload.num_services = 1;
+  p.workload.num_clusters = 1;
+  p.seed = 11;
+  sim::Scenario s(p);
+  algorithms::OlOptions opt;
+  auto algo = algorithms::make_ol_gd(s.problem(), s.demands(), opt, 1);
+  sim::RunResult r = s.simulator().run(*algo);
+  EXPECT_EQ(r.slots.size(), 5u);
+  for (const auto& rec : r.slots) EXPECT_GT(rec.avg_delay_ms, 0.0);
+}
+
+TEST(EdgeCases, TwoStationNetwork) {
+  common::Rng rng(13);
+  net::GtItmParams gp;
+  gp.num_stations = 2;
+  net::Topology topo = net::generate_gtitm_like(gp, rng);
+  EXPECT_TRUE(topo.is_connected());
+  workload::WorkloadParams wp;
+  wp.num_requests = 2;
+  wp.num_services = 1;
+  workload::Workload w = workload::make_workload(topo, wp, rng, false);
+  core::ProblemOptions po;
+  po.c_unit_mhz = 5.0;  // keep two requests inside two stations
+  core::CachingProblem problem(&topo, w.services, w.requests, po, rng);
+  core::FractionalSolver solver(problem);
+  std::vector<double> demands{w.requests[0].basic_demand,
+                              w.requests[1].basic_demand};
+  std::vector<double> theta{10.0, 20.0};
+  core::FractionalSolution sol = solver.solve(demands, theta);
+  EXPECT_GT(sol.objective, 0.0);
+}
+
+TEST(EdgeCases, ZeroDemandSlotCostsOnlyInstantiation) {
+  sim::ScenarioParams p;
+  p.num_stations = 8;
+  p.horizon = 3;
+  p.workload.num_requests = 5;
+  p.seed = 17;
+  sim::Scenario s(p);
+  core::FractionalSolver solver(s.problem());
+  std::vector<double> zero(5, 0.0);
+  std::vector<double> theta(8, 10.0);
+  core::FractionalSolution sol = solver.solve(zero, theta);
+  // All processing terms vanish; objective is access + instantiation only.
+  EXPECT_GE(sol.objective, 0.0);
+  for (std::size_t l = 0; l < 5; ++l) {
+    double sum = 0.0;
+    for (double v : sol.x[l]) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(EdgeCases, DelaySpikesDoNotBreakLearning) {
+  // A spiky delay process (rare 3x congestion spikes) must not crash the
+  // pipeline nor produce non-finite estimates.
+  sim::ScenarioParams p;
+  p.num_stations = 15;
+  p.horizon = 20;
+  p.workload.num_requests = 15;
+  p.delay_kind = net::DelayModelKind::kSpiky;
+  p.seed = 19;
+  sim::Scenario s(p);
+  algorithms::OlOptions opt;
+  algorithms::OnlineCachingAlgorithm algo("OL_GD", s.problem(), &s.demands(),
+                                          opt, 3);
+  sim::RunResult r = s.simulator().run(algo);
+  for (const auto& rec : r.slots) {
+    EXPECT_TRUE(std::isfinite(rec.avg_delay_ms));
+  }
+  for (std::size_t i = 0; i < s.problem().num_stations(); ++i) {
+    EXPECT_TRUE(std::isfinite(algo.bandit().theta(i)));
+    EXPECT_GE(algo.bandit().theta(i), 0.0);
+  }
+}
+
+TEST(EdgeCases, Ar1DelayScenarioRuns) {
+  sim::ScenarioParams p;
+  p.num_stations = 12;
+  p.horizon = 10;
+  p.workload.num_requests = 10;
+  p.delay_kind = net::DelayModelKind::kAr1;
+  p.seed = 23;
+  sim::Scenario s(p);
+  algorithms::OlOptions opt;
+  auto algo = algorithms::make_ol_gd(s.problem(), s.demands(), opt, 1);
+  EXPECT_EQ(s.simulator().run(*algo).slots.size(), 10u);
+}
+
+TEST(EdgeCases, GanWithMinimalDimensions) {
+  gan::InfoRnnGanConfig c;
+  c.noise_dim = 1;
+  c.num_codes = 1;
+  c.hidden = 2;
+  c.seq_len = 2;
+  c.batch_size = 1;
+  gan::InfoRnnGan g(c, 1);
+  std::vector<std::vector<double>> series{{0.1, 0.2, 0.3, 0.4, 0.5}};
+  EXPECT_NO_THROW(g.train(series, 3));
+  double pred = g.predict_next({0.3, 0.4}, 0);
+  EXPECT_GE(pred, 0.0);
+  EXPECT_LE(pred, 1.0);
+}
+
+TEST(EdgeCases, ExactLpPathOnTinyScenario) {
+  sim::ScenarioParams p;
+  p.num_stations = 6;
+  p.horizon = 3;
+  p.workload.num_requests = 5;
+  p.seed = 29;
+  sim::Scenario s(p);
+  algorithms::OlOptions opt;
+  opt.use_exact_lp = true;
+  auto algo = algorithms::make_ol_gd(s.problem(), s.demands(), opt, 1);
+  sim::RunResult r = s.simulator().run(*algo);
+  EXPECT_EQ(r.slots.size(), 3u);
+  for (const auto& rec : r.slots) {
+    EXPECT_NEAR(rec.capacity_violation_mhz, 0.0, 1e-6);
+  }
+}
+
+TEST(EdgeCases, HistoryFreeScenarioStillProvidesTrace) {
+  sim::ScenarioParams p;
+  p.num_stations = 10;
+  p.horizon = 5;
+  p.history_horizon = 0;  // degenerate: no past period
+  p.workload.num_requests = 8;
+  p.seed = 31;
+  sim::Scenario s(p);
+  EXPECT_GE(s.trace().rows().size(), 1u);
+  EXPECT_EQ(s.trace().horizon(), 1u);
+}
+
+TEST(EdgeCases, PerSlotCoinVariantRuns) {
+  sim::ScenarioParams p;
+  p.num_stations = 12;
+  p.horizon = 12;
+  p.workload.num_requests = 10;
+  p.seed = 37;
+  sim::Scenario s(p);
+  algorithms::OlOptions opt;
+  opt.per_slot_coin = true;
+  opt.epsilon = core::EpsilonSchedule::fixed(0.5);
+  auto algo = algorithms::make_ol_gd(s.problem(), s.demands(), opt, 1);
+  sim::RunResult r = s.simulator().run(*algo);
+  EXPECT_EQ(r.slots.size(), 12u);
+}
+
+TEST(EdgeCases, FlatPriorVariantRuns) {
+  sim::ScenarioParams p;
+  p.num_stations = 12;
+  p.horizon = 8;
+  p.workload.num_requests = 10;
+  p.seed = 41;
+  sim::Scenario s(p);
+  algorithms::OlOptions opt;
+  opt.tier_priors = false;
+  opt.theta_prior = s.theta_prior();
+  auto algo = algorithms::make_ol_gd(s.problem(), s.demands(), opt, 1);
+  EXPECT_EQ(s.simulator().run(*algo).slots.size(), 8u);
+}
+
+}  // namespace
+}  // namespace mecsc

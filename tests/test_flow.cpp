@@ -1,0 +1,239 @@
+// Tests for the min-cost-flow solver, including cross-checks against the
+// exact simplex on random transportation instances.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "flow/min_cost_flow.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace mecsc::flow {
+namespace {
+
+TEST(MinCostFlow, SingleEdge) {
+  MinCostFlow g(2);
+  auto e = g.add_edge(0, 1, 5.0, 2.0);
+  FlowResult r = g.solve(0, 1, 3.0);
+  EXPECT_DOUBLE_EQ(r.flow, 3.0);
+  EXPECT_DOUBLE_EQ(r.cost, 6.0);
+  EXPECT_DOUBLE_EQ(g.edge_flow(e), 3.0);
+}
+
+TEST(MinCostFlow, SaturatesAtCapacity) {
+  MinCostFlow g(2);
+  g.add_edge(0, 1, 5.0, 1.0);
+  FlowResult r = g.solve(0, 1, 100.0);
+  EXPECT_DOUBLE_EQ(r.flow, 5.0);
+}
+
+TEST(MinCostFlow, PrefersCheaperPath) {
+  // Two parallel 2-hop paths; cheaper one should carry the flow.
+  MinCostFlow g(4);
+  auto cheap1 = g.add_edge(0, 1, 10.0, 1.0);
+  auto cheap2 = g.add_edge(1, 3, 10.0, 1.0);
+  auto costly1 = g.add_edge(0, 2, 10.0, 5.0);
+  auto costly2 = g.add_edge(2, 3, 10.0, 5.0);
+  FlowResult r = g.solve(0, 3, 10.0);
+  EXPECT_DOUBLE_EQ(r.flow, 10.0);
+  EXPECT_DOUBLE_EQ(r.cost, 20.0);
+  EXPECT_DOUBLE_EQ(g.edge_flow(cheap1), 10.0);
+  EXPECT_DOUBLE_EQ(g.edge_flow(cheap2), 10.0);
+  EXPECT_DOUBLE_EQ(g.edge_flow(costly1), 0.0);
+  EXPECT_DOUBLE_EQ(g.edge_flow(costly2), 0.0);
+}
+
+TEST(MinCostFlow, SpillsToSecondPathWhenFirstSaturates) {
+  MinCostFlow g(2);
+  auto cheap = g.add_edge(0, 1, 4.0, 1.0);
+  auto costly = g.add_edge(0, 1, 10.0, 3.0);
+  FlowResult r = g.solve(0, 1, 7.0);
+  EXPECT_DOUBLE_EQ(r.flow, 7.0);
+  EXPECT_DOUBLE_EQ(r.cost, 4.0 * 1.0 + 3.0 * 3.0);
+  EXPECT_DOUBLE_EQ(g.edge_flow(cheap), 4.0);
+  EXPECT_DOUBLE_EQ(g.edge_flow(costly), 3.0);
+}
+
+TEST(MinCostFlow, ClassicTransportation) {
+  // Same instance as the simplex test: optimum cost 35.
+  // Nodes: 0 src, 1..2 sources, 3..4 sinks, 5 sink.
+  MinCostFlow g(6);
+  g.add_edge(0, 1, 10.0, 0.0);
+  g.add_edge(0, 2, 20.0, 0.0);
+  g.add_edge(1, 3, 1e9, 1.0);
+  g.add_edge(1, 4, 1e9, 4.0);
+  g.add_edge(2, 3, 1e9, 2.0);
+  g.add_edge(2, 4, 1e9, 1.0);
+  g.add_edge(3, 5, 15.0, 0.0);
+  g.add_edge(4, 5, 15.0, 0.0);
+  FlowResult r = g.solve(0, 5, 30.0);
+  EXPECT_DOUBLE_EQ(r.flow, 30.0);
+  EXPECT_NEAR(r.cost, 35.0, 1e-9);
+}
+
+TEST(MinCostFlow, RejectsNegativeCost) {
+  MinCostFlow g(2);
+  EXPECT_THROW(g.add_edge(0, 1, 1.0, -1.0), std::exception);
+}
+
+TEST(MinCostFlow, RejectsBadEndpoints) {
+  MinCostFlow g(2);
+  EXPECT_THROW(g.add_edge(0, 5, 1.0, 1.0), std::exception);
+  EXPECT_THROW(g.solve(0, 0, 1.0), std::exception);
+}
+
+TEST(MinCostFlow, ZeroRequestedFlow) {
+  MinCostFlow g(2);
+  g.add_edge(0, 1, 5.0, 1.0);
+  FlowResult r = g.solve(0, 1, 0.0);
+  EXPECT_DOUBLE_EQ(r.flow, 0.0);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+}
+
+TEST(MinCostFlow, DisconnectedSinkShipsNothing) {
+  MinCostFlow g(3);
+  g.add_edge(0, 1, 5.0, 1.0);
+  FlowResult r = g.solve(0, 2, 5.0);
+  EXPECT_DOUBLE_EQ(r.flow, 0.0);
+}
+
+/// Conservation: for every intermediate node, inflow == outflow.
+TEST(MinCostFlow, FlowConservation) {
+  common::Rng rng(77);
+  const std::size_t n = 10;
+  MinCostFlow g(n);
+  std::vector<std::tuple<std::size_t, std::size_t, std::size_t>> edges;  // id,a,b
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b || !rng.bernoulli(0.4)) continue;
+      auto id = g.add_edge(a, b, rng.uniform(1.0, 10.0), rng.uniform(0.0, 5.0));
+      edges.emplace_back(id, a, b);
+    }
+  }
+  g.solve(0, n - 1, 50.0);
+  std::vector<double> net(n, 0.0);
+  for (auto [id, a, b] : edges) {
+    double f = g.edge_flow(id);
+    EXPECT_GE(f, -1e-9);
+    net[a] -= f;
+    net[b] += f;
+  }
+  for (std::size_t v = 1; v + 1 < n; ++v) EXPECT_NEAR(net[v], 0.0, 1e-6);
+  EXPECT_NEAR(net[0], -net[n - 1], 1e-6);
+}
+
+/// The dense-Dijkstra path (small graphs) and the heap path (large
+/// graphs) must produce identical optima. Build the same logical
+/// instance twice: once as-is (dense path) and once padded with
+/// disconnected dummy nodes to push the node count past the dense
+/// threshold (heap path).
+TEST(MinCostFlow, DenseAndHeapPathsAgree) {
+  common::Rng rng(101);
+  const std::size_t n = 12;
+  struct E {
+    std::size_t a, b;
+    double cap, cost;
+  };
+  std::vector<E> edges;
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b || !rng.bernoulli(0.5)) continue;
+      edges.push_back({a, b, rng.uniform(1.0, 8.0), rng.uniform(0.0, 4.0)});
+    }
+  }
+  MinCostFlow dense(n);
+  MinCostFlow heap(n + MinCostFlow::kDenseThreshold);  // padded: heap path
+  for (const auto& e : edges) {
+    dense.add_edge(e.a, e.b, e.cap, e.cost);
+    heap.add_edge(e.a, e.b, e.cap, e.cost);
+  }
+  FlowResult rd = dense.solve(0, n - 1, 40.0);
+  FlowResult rh = heap.solve(0, n - 1, 40.0);
+  EXPECT_NEAR(rd.flow, rh.flow, 1e-6);
+  EXPECT_NEAR(rd.cost, rh.cost, 1e-5);
+}
+
+TEST(MinCostFlow, CostMatchesEdgeFlowDecomposition) {
+  common::Rng rng(103);
+  MinCostFlow g(8);
+  std::vector<std::pair<std::size_t, double>> ids;  // (edge id, cost)
+  for (std::size_t a = 0; a < 8; ++a) {
+    for (std::size_t b = 0; b < 8; ++b) {
+      if (a == b || !rng.bernoulli(0.5)) continue;
+      double cost = rng.uniform(0.0, 3.0);
+      ids.emplace_back(g.add_edge(a, b, rng.uniform(1.0, 5.0), cost), cost);
+    }
+  }
+  FlowResult r = g.solve(0, 7, 20.0);
+  double recomputed = 0.0;
+  for (auto [id, cost] : ids) recomputed += g.edge_flow(id) * cost;
+  EXPECT_NEAR(r.cost, recomputed, 1e-6);
+}
+
+/// Property: on random transportation instances the flow optimum equals
+/// the simplex optimum.
+class FlowVsSimplexTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowVsSimplexTest, MatchesSimplexOnTransportation) {
+  common::Rng rng(GetParam());
+  const std::size_t ns = 3 + rng.index(3);  // sources
+  const std::size_t nd = 3 + rng.index(3);  // sinks
+  std::vector<double> supply(ns), demand(nd);
+  double total_demand = 0.0;
+  for (auto& d : demand) {
+    d = rng.uniform(1.0, 10.0);
+    total_demand += d;
+  }
+  // Total supply >= total demand so the instance is feasible.
+  double remaining = total_demand * 1.4;
+  for (std::size_t i = 0; i < ns; ++i) {
+    supply[i] = remaining / static_cast<double>(ns);
+  }
+  std::vector<std::vector<double>> cost(ns, std::vector<double>(nd));
+  for (auto& row : cost) {
+    for (auto& c : row) c = rng.uniform(0.0, 9.0);
+  }
+
+  // Simplex formulation.
+  lp::Model m;
+  std::vector<std::vector<std::size_t>> var(ns, std::vector<std::size_t>(nd));
+  for (std::size_t i = 0; i < ns; ++i) {
+    for (std::size_t j = 0; j < nd; ++j) var[i][j] = m.add_variable(cost[i][j]);
+  }
+  for (std::size_t i = 0; i < ns; ++i) {
+    lp::Constraint c;
+    c.relation = lp::Relation::kLessEqual;
+    c.rhs = supply[i];
+    for (std::size_t j = 0; j < nd; ++j) c.terms.emplace_back(var[i][j], 1.0);
+    m.add_constraint(std::move(c));
+  }
+  for (std::size_t j = 0; j < nd; ++j) {
+    lp::Constraint c;
+    c.relation = lp::Relation::kEqual;
+    c.rhs = demand[j];
+    for (std::size_t i = 0; i < ns; ++i) c.terms.emplace_back(var[i][j], 1.0);
+    m.add_constraint(std::move(c));
+  }
+  lp::Solution ls = lp::SimplexSolver().solve(m);
+  ASSERT_EQ(ls.status, lp::SolveStatus::kOptimal);
+
+  // Flow formulation: src=0, sources 1..ns, sinks ns+1..ns+nd, sink last.
+  MinCostFlow g(ns + nd + 2);
+  for (std::size_t i = 0; i < ns; ++i) g.add_edge(0, 1 + i, supply[i], 0.0);
+  for (std::size_t i = 0; i < ns; ++i) {
+    for (std::size_t j = 0; j < nd; ++j) {
+      g.add_edge(1 + i, 1 + ns + j, 1e9, cost[i][j]);
+    }
+  }
+  for (std::size_t j = 0; j < nd; ++j) {
+    g.add_edge(1 + ns + j, ns + nd + 1, demand[j], 0.0);
+  }
+  FlowResult fr = g.solve(0, ns + nd + 1, total_demand);
+  EXPECT_NEAR(fr.flow, total_demand, 1e-6);
+  EXPECT_NEAR(fr.cost, ls.objective, 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowVsSimplexTest,
+                         ::testing::Range<std::uint64_t>(1, 26));
+
+}  // namespace
+}  // namespace mecsc::flow

@@ -1,0 +1,141 @@
+// End-to-end integration tests: the paper's qualitative claims on small
+// instances — OL_GD beats the passive baselines, regret grows
+// sublinearly, and the full OL_GAN pipeline runs.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "algorithms/baselines.h"
+#include "algorithms/ol_gd.h"
+#include "common/stats.h"
+#include "predict/gan_predictor.h"
+#include "sim/scenario.h"
+
+namespace mecsc {
+namespace {
+
+TEST(Integration, OlGdOutperformsBaselinesOnAverage) {
+  // Averaged over several topologies (the paper averages over 80), the
+  // online learner should beat the passive baselines on steady-state
+  // delay. Small sizes keep CI time sane; the bench reproduces the
+  // full-size figure.
+  common::RunningStats ol, greedy, pri;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    sim::ScenarioParams p;
+    p.num_stations = 25;
+    p.horizon = 60;
+    p.workload.num_requests = 30;
+    p.seed = seed;
+    sim::Scenario s(p);
+    algorithms::OlOptions opt;
+    opt.theta_prior = s.theta_prior();
+    auto a_ol = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
+                                       s.algorithm_seed(0));
+    auto a_gr = algorithms::make_greedy_gd(s.problem(), s.demands(), s.historical_delay_estimates());
+    auto a_pr = algorithms::make_pri_gd(s.problem(), s.demands(), s.historical_delay_estimates());
+    ol.add(s.simulator().run(*a_ol).tail_mean_delay_ms(30));
+    greedy.add(s.simulator().run(*a_gr).tail_mean_delay_ms(30));
+    pri.add(s.simulator().run(*a_pr).tail_mean_delay_ms(30));
+  }
+  EXPECT_LT(ol.mean(), greedy.mean());
+  EXPECT_LT(ol.mean(), pri.mean());
+}
+
+TEST(Integration, RegretGrowsSublinearly) {
+  sim::ScenarioParams p;
+  p.num_stations = 15;
+  p.horizon = 80;
+  p.workload.num_requests = 15;
+  p.track_regret = true;
+  p.seed = 3;
+  sim::Scenario s(p);
+  algorithms::OlOptions opt;
+  opt.theta_prior = s.theta_prior();
+  opt.epsilon = core::EpsilonSchedule::decay(0.9);
+  auto algo = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
+                                     s.algorithm_seed(0));
+  sim::RunResult r = s.simulator().run(*algo);
+  ASSERT_EQ(r.cumulative_regret.size(), 80u);
+  // Average per-slot regret in the second half below the first half.
+  double first = r.cumulative_regret[39] / 40.0;
+  double second = (r.cumulative_regret[79] - r.cumulative_regret[39]) / 40.0;
+  EXPECT_LT(second, first);
+}
+
+TEST(Integration, RegretBelowTheorem1BoundAtDefaults) {
+  sim::ScenarioParams p;
+  p.num_stations = 12;
+  p.horizon = 50;
+  p.workload.num_requests = 12;
+  p.track_regret = true;
+  p.seed = 5;
+  sim::Scenario s(p);
+  algorithms::OlOptions opt;
+  opt.theta_prior = s.theta_prior();
+  auto algo = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
+                                     s.algorithm_seed(0));
+  sim::RunResult r = s.simulator().run(*algo);
+  double sigma = core::theory::lemma1_sigma(
+      s.problem().num_requests(), s.d_max(), s.d_min(),
+      s.problem().instantiation_delay_spread(), 0.25);
+  double bound = core::theory::theorem1_bound(sigma, 50, 0.5);
+  EXPECT_LT(r.cumulative_regret.back(), bound);
+}
+
+TEST(Integration, FullOlGanPipeline) {
+  sim::ScenarioParams p;
+  p.num_stations = 15;
+  p.horizon = 10;
+  p.bursty = true;
+  p.workload.num_requests = 15;
+  p.workload.num_clusters = 4;
+  p.history_horizon = 50;
+  p.seed = 7;
+  sim::Scenario s(p);
+
+  predict::GanPredictorOptions gopt;
+  gopt.gan.noise_dim = 4;
+  gopt.gan.hidden = 8;
+  gopt.gan.seq_len = 8;
+  gopt.gan.batch_size = 6;
+  gopt.gan.num_codes = 4;
+  gopt.train_steps = 30;
+  auto predictor = std::make_unique<predict::GanDemandPredictor>(
+      s.workload().requests, s.trace(), gopt, 11);
+
+  algorithms::OlOptions opt;
+  opt.theta_prior = s.theta_prior();
+  auto ol_gan = algorithms::make_ol_with_predictor("OL_GAN", s.problem(),
+                                                   std::move(predictor), opt,
+                                                   s.algorithm_seed(0));
+  auto ol_reg = algorithms::make_ol_reg(s.problem(), 3, opt, s.algorithm_seed(1));
+
+  sim::RunResult rg = s.simulator().run(*ol_gan);
+  sim::RunResult rr = s.simulator().run(*ol_reg);
+  EXPECT_EQ(rg.slots.size(), 10u);
+  EXPECT_EQ(rr.slots.size(), 10u);
+  EXPECT_GT(rg.mean_delay_ms(), 0.0);
+  EXPECT_GT(rr.mean_delay_ms(), 0.0);
+  // The paper's Fig. 6(b): the GAN variant costs noticeably more compute.
+  EXPECT_GT(rg.total_decision_time_ms(), rr.total_decision_time_ms());
+}
+
+TEST(Integration, As1755ScenarioEndToEnd) {
+  sim::ScenarioParams p;
+  p.net = sim::ScenarioParams::NetKind::kAs1755;
+  p.num_stations = 50;
+  p.horizon = 20;
+  p.workload.num_requests = 25;
+  p.seed = 9;
+  sim::Scenario s(p);
+  algorithms::OlOptions opt;
+  opt.theta_prior = s.theta_prior();
+  auto algo = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
+                                     s.algorithm_seed(0));
+  sim::RunResult r = s.simulator().run(*algo);
+  EXPECT_EQ(r.slots.size(), 20u);
+  for (const auto& rec : r.slots) EXPECT_NEAR(rec.capacity_violation_mhz, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace mecsc

@@ -1,0 +1,353 @@
+// Tests for the 5G MEC network substrate: base stations, topologies,
+// generators, and stochastic delay processes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/base_station.h"
+#include "net/delay_process.h"
+#include "net/generators.h"
+#include "net/topology.h"
+#include "net/wireless.h"
+
+namespace mecsc::net {
+namespace {
+
+TEST(TierProfile, PaperParameterRanges) {
+  TierProfile macro = tier_profile(Tier::kMacro);
+  EXPECT_DOUBLE_EQ(macro.transmit_power_w, 40.0);
+  EXPECT_DOUBLE_EQ(macro.radius_m, 100.0);
+  EXPECT_DOUBLE_EQ(macro.capacity_lo_mhz, 8000.0);
+  EXPECT_DOUBLE_EQ(macro.capacity_hi_mhz, 16000.0);
+  EXPECT_DOUBLE_EQ(macro.delay_lo_ms, 30.0);
+  EXPECT_DOUBLE_EQ(macro.delay_hi_ms, 50.0);
+
+  TierProfile micro = tier_profile(Tier::kMicro);
+  EXPECT_DOUBLE_EQ(micro.transmit_power_w, 5.0);
+  EXPECT_DOUBLE_EQ(micro.radius_m, 30.0);
+  EXPECT_DOUBLE_EQ(micro.delay_lo_ms, 10.0);
+
+  TierProfile femto = tier_profile(Tier::kFemto);
+  EXPECT_DOUBLE_EQ(femto.transmit_power_w, 0.1);
+  EXPECT_DOUBLE_EQ(femto.radius_m, 15.0);
+  EXPECT_DOUBLE_EQ(femto.delay_hi_ms, 10.0);
+}
+
+TEST(BaseStation, CoverageDisk) {
+  BaseStation bs;
+  bs.x_m = 10.0;
+  bs.y_m = 10.0;
+  bs.radius_m = 5.0;
+  EXPECT_TRUE(bs.covers(10.0, 10.0));
+  EXPECT_TRUE(bs.covers(13.0, 14.0));  // distance 5
+  EXPECT_FALSE(bs.covers(16.0, 10.0));
+}
+
+TEST(TierName, Names) {
+  EXPECT_STREQ(tier_name(Tier::kMacro), "macro");
+  EXPECT_STREQ(tier_name(Tier::kMicro), "micro");
+  EXPECT_STREQ(tier_name(Tier::kFemto), "femto");
+}
+
+Topology tiny_topology() {
+  std::vector<BaseStation> stations(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    stations[i].id = i;
+    stations[i].x_m = static_cast<double>(i) * 10.0;
+    stations[i].radius_m = 12.0;
+    stations[i].capacity_mhz = 100.0;
+  }
+  Topology topo(std::move(stations));
+  topo.add_link(Link{0, 1, 2.0, 100.0, false});
+  topo.add_link(Link{1, 2, 3.0, 100.0, false});
+  return topo;
+}
+
+TEST(Topology, RejectsBadLinks) {
+  Topology topo = tiny_topology();
+  EXPECT_THROW(topo.add_link(Link{0, 0, 1.0, 1.0, false}), std::exception);
+  EXPECT_THROW(topo.add_link(Link{0, 1, 1.0, 1.0, false}), std::exception);  // parallel
+  EXPECT_THROW(topo.add_link(Link{0, 9, 1.0, 1.0, false}), std::exception);
+  EXPECT_THROW(topo.add_link(Link{0, 2, -1.0, 1.0, false}), std::exception);
+}
+
+TEST(Topology, RejectsOutOfOrderIds) {
+  std::vector<BaseStation> stations(2);
+  stations[0].id = 1;
+  stations[1].id = 0;
+  EXPECT_THROW(Topology{std::move(stations)}, std::exception);
+}
+
+TEST(Topology, PathLatencyShortestPath) {
+  Topology topo = tiny_topology();
+  EXPECT_DOUBLE_EQ(topo.path_latency_ms(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(topo.path_latency_ms(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(topo.path_latency_ms(0, 2), 5.0);
+  // Adding a direct shortcut invalidates the cache and shortens the path.
+  topo.add_link(Link{0, 2, 1.0, 100.0, false});
+  EXPECT_DOUBLE_EQ(topo.path_latency_ms(0, 2), 1.0);
+}
+
+TEST(Topology, PathLatencySymmetric) {
+  Topology topo = tiny_topology();
+  EXPECT_DOUBLE_EQ(topo.path_latency_ms(0, 2), topo.path_latency_ms(2, 0));
+}
+
+TEST(Topology, ConnectivityAndCoverage) {
+  Topology topo = tiny_topology();
+  EXPECT_TRUE(topo.is_connected());
+  auto covering = topo.stations_covering(5.0, 0.0);  // within 12m of bs0 & bs1
+  EXPECT_EQ(covering.size(), 2u);
+}
+
+TEST(Topology, MarkBottlenecksScalesWorstLinks) {
+  Topology topo = tiny_topology();
+  topo.mark_bottlenecks(1, 10.0);
+  // The 3ms link (1-2) was the worst; now 30ms.
+  double worst = 0.0;
+  std::size_t flagged = 0;
+  for (const auto& l : topo.links()) {
+    worst = std::max(worst, l.latency_ms);
+    if (l.bottleneck) ++flagged;
+  }
+  EXPECT_DOUBLE_EQ(worst, 30.0);
+  EXPECT_EQ(flagged, 1u);
+  EXPECT_DOUBLE_EQ(topo.path_latency_ms(1, 2), 30.0);
+}
+
+class GtItmTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GtItmTest, GeneratedTopologyInvariants) {
+  common::Rng rng(GetParam());
+  GtItmParams p;
+  p.num_stations = 60;
+  Topology topo = generate_gtitm_like(p, rng);
+  EXPECT_EQ(topo.num_stations(), 60u);
+  EXPECT_TRUE(topo.is_connected());
+  EXPECT_GE(topo.stations_of_tier(Tier::kMacro).size(), 1u);
+  // Every station has attributes inside its tier profile.
+  for (const auto& bs : topo.stations()) {
+    TierProfile tp = tier_profile(bs.tier);
+    EXPECT_GE(bs.capacity_mhz, tp.capacity_lo_mhz);
+    EXPECT_LE(bs.capacity_mhz, tp.capacity_hi_mhz);
+    EXPECT_GE(bs.mean_unit_delay_ms, tp.delay_lo_ms);
+    EXPECT_LE(bs.mean_unit_delay_ms, tp.delay_hi_ms);
+    EXPECT_DOUBLE_EQ(bs.radius_m, tp.radius_m);
+  }
+  // No self/parallel links by construction (add_link enforces).
+  EXPECT_GT(topo.num_links(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GtItmTest, ::testing::Values(1, 7, 42, 1000));
+
+TEST(GtItm, EdgeProbabilityRoughlyHonored) {
+  common::Rng rng(5);
+  GtItmParams p;
+  p.num_stations = 100;
+  p.edge_probability = 0.1;
+  Topology topo = generate_gtitm_like(p, rng);
+  double pairs = 100.0 * 99.0 / 2.0;
+  double density = static_cast<double>(topo.num_links()) / pairs;
+  EXPECT_NEAR(density, 0.1, 0.03);
+}
+
+TEST(GtItm, DeterministicForSameSeed) {
+  common::Rng r1(9);
+  common::Rng r2(9);
+  GtItmParams p;
+  p.num_stations = 40;
+  Topology a = generate_gtitm_like(p, r1);
+  Topology b = generate_gtitm_like(p, r2);
+  ASSERT_EQ(a.num_links(), b.num_links());
+  for (std::size_t i = 0; i < a.num_stations(); ++i) {
+    EXPECT_DOUBLE_EQ(a.station(i).capacity_mhz, b.station(i).capacity_mhz);
+    EXPECT_EQ(a.station(i).tier, b.station(i).tier);
+  }
+}
+
+TEST(As1755, HeavyTailedDegreesAndBottlenecks) {
+  common::Rng rng(11);
+  As1755Params p;
+  Topology topo = generate_as1755_like(p, rng);
+  EXPECT_EQ(topo.num_stations(), 172u);
+  EXPECT_TRUE(topo.is_connected());
+  std::size_t max_degree = 0;
+  double mean_degree = 0.0;
+  for (std::size_t i = 0; i < topo.num_stations(); ++i) {
+    max_degree = std::max(max_degree, topo.neighbors(i).size());
+    mean_degree += static_cast<double>(topo.neighbors(i).size());
+  }
+  mean_degree /= static_cast<double>(topo.num_stations());
+  // Preferential attachment: hubs far exceed the mean.
+  EXPECT_GT(static_cast<double>(max_degree), 4.0 * mean_degree);
+  std::size_t bottlenecks = 0;
+  for (const auto& l : topo.links()) {
+    if (l.bottleneck) ++bottlenecks;
+  }
+  EXPECT_GT(bottlenecks, 0u);
+  // Highest-degree stations are macros.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < topo.num_stations(); ++i) {
+    if (topo.neighbors(i).size() > topo.neighbors(best).size()) best = i;
+  }
+  EXPECT_EQ(topo.station(best).tier, Tier::kMacro);
+}
+
+TEST(As1755, SizedVariant) {
+  common::Rng rng(13);
+  Topology topo = generate_as1755_like_sized(80, rng);
+  EXPECT_EQ(topo.num_stations(), 80u);
+  EXPECT_TRUE(topo.is_connected());
+}
+
+TEST(UniformDelayProcess, SamplesWithinBoundsAndMeanMatches) {
+  UniformDelayProcess p(10.0, 20.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 15.0);
+  common::Rng rng(3);
+  common::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    double d = p.sample(rng);
+    EXPECT_GE(d, 10.0);
+    EXPECT_LE(d, 20.0);
+    stats.add(d);
+  }
+  EXPECT_NEAR(stats.mean(), 15.0, 0.1);
+}
+
+TEST(Ar1DelayProcess, StaysInBoundsAndMeanReverts) {
+  Ar1DelayProcess p(15.0, 0.8, 2.0, 10.0, 20.0);
+  common::Rng rng(5);
+  common::RunningStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    double d = p.sample(rng);
+    EXPECT_GE(d, 10.0);
+    EXPECT_LE(d, 20.0);
+    stats.add(d);
+  }
+  EXPECT_NEAR(stats.mean(), 15.0, 0.5);
+}
+
+TEST(Ar1DelayProcess, RejectsBadParams) {
+  EXPECT_THROW(Ar1DelayProcess(15.0, 1.2, 1.0, 10.0, 20.0), std::exception);
+  EXPECT_THROW(Ar1DelayProcess(25.0, 0.5, 1.0, 10.0, 20.0), std::exception);
+}
+
+TEST(SpikyDelayProcess, MeanAccountsForSpikes) {
+  auto base = std::make_unique<UniformDelayProcess>(10.0, 10.0);  // constant 10
+  SpikyDelayProcess p(std::move(base), 0.5, 3.0);
+  EXPECT_DOUBLE_EQ(p.mean(), 10.0 * (1.0 + 0.5 * 2.0));
+  common::Rng rng(7);
+  common::RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.add(p.sample(rng));
+  EXPECT_NEAR(stats.mean(), p.mean(), 0.3);
+  EXPECT_DOUBLE_EQ(stats.max(), 30.0);
+}
+
+TEST(NetworkDelayModel, RealizeAndOracleViews) {
+  common::Rng rng(17);
+  GtItmParams gp;
+  gp.num_stations = 30;
+  Topology topo = generate_gtitm_like(gp, rng);
+  NetworkDelayModel model = make_delay_model(topo, DelayModelKind::kUniform, rng);
+  EXPECT_EQ(model.size(), 30u);
+  auto means = model.true_means();
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_NEAR(means[i], topo.station(i).mean_unit_delay_ms, 1e-9);
+  }
+  EXPECT_LT(model.global_min(), model.global_max());
+  auto d = model.realize(rng);
+  ASSERT_EQ(d.size(), 30u);
+  for (double v : d) {
+    EXPECT_GE(v, model.global_min() - 1e-9);
+    EXPECT_LE(v, model.global_max() + 1e-9);
+  }
+}
+
+TEST(NetworkDelayModel, AllKindsConstruct) {
+  common::Rng rng(19);
+  GtItmParams gp;
+  gp.num_stations = 20;
+  Topology topo = generate_gtitm_like(gp, rng);
+  for (auto kind : {DelayModelKind::kUniform, DelayModelKind::kAr1,
+                    DelayModelKind::kSpiky}) {
+    NetworkDelayModel model = make_delay_model(topo, kind, rng);
+    auto d = model.realize(rng);
+    for (double v : d) EXPECT_GT(v, 0.0);
+  }
+}
+
+TEST(WirelessModel, PathLossMonotoneInDistance) {
+  WirelessModel w;
+  EXPECT_LT(w.path_loss_db(10.0), w.path_loss_db(50.0));
+  EXPECT_LT(w.path_loss_db(50.0), w.path_loss_db(100.0));
+  // Below 1 m clamps to the reference distance.
+  EXPECT_DOUBLE_EQ(w.path_loss_db(0.0), w.path_loss_db(1.0));
+}
+
+TEST(WirelessModel, LogDistanceFormula) {
+  WirelessParams p;
+  p.reference_loss_db = 30.0;
+  p.path_loss_exponent = 3.5;
+  WirelessModel w(p);
+  EXPECT_NEAR(w.path_loss_db(10.0), 30.0 + 35.0, 1e-9);
+  EXPECT_NEAR(w.path_loss_db(100.0), 30.0 + 70.0, 1e-9);
+}
+
+TEST(WirelessModel, MacroOutranksFemtoAtSameDistance) {
+  WirelessModel w;
+  BaseStation macro;
+  macro.transmit_power_w = tier_profile(Tier::kMacro).transmit_power_w;
+  BaseStation femto;
+  femto.transmit_power_w = tier_profile(Tier::kFemto).transmit_power_w;
+  EXPECT_GT(w.snr(macro, 50.0, 1.0), w.snr(femto, 50.0, 1.0));
+}
+
+TEST(WirelessModel, RateCappedBy64Qam) {
+  WirelessModel w;
+  BaseStation macro;
+  macro.transmit_power_w = 40.0;
+  // Point blank, full bandwidth: SNR is enormous, so the 64QAM cap
+  // (6 bit/s/Hz over 20 MHz = 120 Mb/s) binds.
+  EXPECT_NEAR(w.rate_bps(macro, 1.0, 1.0), 120e6, 1e3);
+}
+
+TEST(WirelessModel, RateScalesWithBandwidthShare) {
+  WirelessModel w;
+  BaseStation bs;
+  bs.transmit_power_w = 5.0;
+  double full = w.rate_bps(bs, 20.0, 1.0);
+  double half = w.rate_bps(bs, 20.0, 0.5);
+  // At cap, halving bandwidth halves rate; off cap, slightly more than
+  // half (less noise) — either way strictly less than full.
+  EXPECT_LT(half, full);
+  EXPECT_GE(half, 0.5 * full - 1e-6);
+}
+
+TEST(WirelessModel, TransmissionDelayLinearInData) {
+  WirelessModel w;
+  BaseStation bs;
+  bs.transmit_power_w = 0.1;
+  double d1 = w.transmission_delay_ms(bs, 10.0, 1.0, 1.0);
+  double d5 = w.transmission_delay_ms(bs, 10.0, 5.0, 1.0);
+  EXPECT_NEAR(d5, 5.0 * d1, 1e-9);
+  EXPECT_GT(d1, 0.0);
+}
+
+TEST(WirelessModel, RejectsBadInputs) {
+  WirelessModel w;
+  BaseStation bs;
+  bs.transmit_power_w = 1.0;
+  EXPECT_THROW(w.snr(bs, 10.0, 0.0), std::exception);
+  EXPECT_THROW(w.snr(bs, 10.0, 1.5), std::exception);
+  EXPECT_THROW(w.path_loss_db(-1.0), std::exception);
+  EXPECT_THROW(w.transmission_delay_ms(bs, 10.0, -1.0, 1.0), std::exception);
+  WirelessParams bad;
+  bad.system_bandwidth_hz = 0.0;
+  EXPECT_THROW(WirelessModel{bad}, std::exception);
+}
+
+}  // namespace
+}  // namespace mecsc::net

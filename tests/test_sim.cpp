@@ -1,0 +1,155 @@
+// Tests for the simulation harness: Simulator, RunResult metrics, and
+// Scenario construction.
+#include <gtest/gtest.h>
+
+#include "algorithms/baselines.h"
+#include "algorithms/ol_gd.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+namespace mecsc::sim {
+namespace {
+
+ScenarioParams small_params(std::uint64_t seed, bool bursty = false) {
+  ScenarioParams p;
+  p.num_stations = 15;
+  p.horizon = 12;
+  p.bursty = bursty;
+  p.workload.num_requests = 18;
+  p.workload.num_services = 4;
+  p.history_horizon = 30;
+  p.seed = seed;
+  return p;
+}
+
+TEST(Scenario, ConstructsGtItm) {
+  Scenario s(small_params(1));
+  EXPECT_EQ(s.topology().num_stations(), 15u);
+  EXPECT_EQ(s.problem().num_requests(), 18u);
+  EXPECT_EQ(s.demands().horizon(), 12u);
+  EXPECT_EQ(s.simulator().horizon(), 12u);
+  EXPECT_GT(s.theta_prior(), s.d_min());
+  EXPECT_LT(s.theta_prior(), s.d_max());
+  EXPECT_GT(s.trace().rows().size(), 0u);
+}
+
+TEST(Scenario, ConstructsAs1755) {
+  ScenarioParams p = small_params(2);
+  p.net = ScenarioParams::NetKind::kAs1755;
+  p.num_stations = 40;
+  Scenario s(p);
+  EXPECT_EQ(s.topology().num_stations(), 40u);
+  bool any_bottleneck = false;
+  for (const auto& l : s.topology().links()) any_bottleneck |= l.bottleneck;
+  EXPECT_TRUE(any_bottleneck);
+}
+
+TEST(Scenario, BurstyDemandsVary) {
+  Scenario s(small_params(3, /*bursty=*/true));
+  bool varies = false;
+  for (std::size_t l = 0; l < s.demands().num_requests() && !varies; ++l) {
+    auto series = s.demands().series(l);
+    for (double v : series) {
+      if (std::abs(v - series[0]) > 1e-9) varies = true;
+    }
+  }
+  EXPECT_TRUE(varies);
+}
+
+TEST(Scenario, GivenDemandsConstantPerRequest) {
+  Scenario s(small_params(4, /*bursty=*/false));
+  for (std::size_t l = 0; l < s.demands().num_requests(); ++l) {
+    auto series = s.demands().series(l);
+    for (double v : series) EXPECT_DOUBLE_EQ(v, series[0]);
+  }
+}
+
+TEST(Scenario, DeterministicForSameSeed) {
+  Scenario a(small_params(5));
+  Scenario b(small_params(5));
+  EXPECT_EQ(a.topology().num_links(), b.topology().num_links());
+  for (std::size_t l = 0; l < a.demands().num_requests(); ++l) {
+    for (std::size_t t = 0; t < a.demands().horizon(); ++t) {
+      EXPECT_DOUBLE_EQ(a.demands().at(l, t), b.demands().at(l, t));
+    }
+  }
+}
+
+TEST(Scenario, AlgorithmSeedsDistinct) {
+  Scenario s(small_params(6));
+  EXPECT_NE(s.algorithm_seed(0), s.algorithm_seed(1));
+  EXPECT_EQ(s.algorithm_seed(0), s.algorithm_seed(0));
+}
+
+TEST(Simulator, RunProducesOneRecordPerSlot) {
+  Scenario s(small_params(7));
+  auto algo = algorithms::make_ol_gd(s.problem(), s.demands(),
+                                     algorithms::OlOptions{}, s.algorithm_seed(0));
+  RunResult r = s.simulator().run(*algo);
+  EXPECT_EQ(r.algorithm, "OL_GD");
+  ASSERT_EQ(r.slots.size(), 12u);
+  for (const auto& rec : r.slots) {
+    EXPECT_GT(rec.avg_delay_ms, 0.0);
+    EXPECT_GE(rec.decision_time_ms, 0.0);
+    EXPECT_NEAR(rec.capacity_violation_mhz, 0.0, 1e-6);
+  }
+  EXPECT_GT(r.mean_delay_ms(), 0.0);
+  EXPECT_GE(r.total_decision_time_ms(), 0.0);
+  EXPECT_GT(r.tail_mean_delay_ms(5), 0.0);
+}
+
+TEST(Simulator, IdenticalSamplePathsForSameAlgorithmSeed) {
+  Scenario s(small_params(8));
+  auto a1 = algorithms::make_ol_gd(s.problem(), s.demands(),
+                                   algorithms::OlOptions{}, 99);
+  auto a2 = algorithms::make_ol_gd(s.problem(), s.demands(),
+                                   algorithms::OlOptions{}, 99);
+  RunResult r1 = s.simulator().run(*a1);
+  RunResult r2 = s.simulator().run(*a2);
+  ASSERT_EQ(r1.slots.size(), r2.slots.size());
+  for (std::size_t t = 0; t < r1.slots.size(); ++t) {
+    EXPECT_DOUBLE_EQ(r1.slots[t].avg_delay_ms, r2.slots[t].avg_delay_ms);
+  }
+}
+
+TEST(Simulator, RegretTrackingWhenEnabled) {
+  ScenarioParams p = small_params(9);
+  p.track_regret = true;
+  p.horizon = 6;
+  Scenario s(p);
+  auto algo = algorithms::make_ol_gd(s.problem(), s.demands(),
+                                     algorithms::OlOptions{}, 1);
+  RunResult r = s.simulator().run(*algo);
+  ASSERT_EQ(r.cumulative_regret.size(), 6u);
+  for (std::size_t t = 1; t < 6; ++t) {
+    EXPECT_GE(r.cumulative_regret[t] + 1e-12, r.cumulative_regret[t - 1]);
+  }
+}
+
+TEST(Simulator, NoRegretSeriesWhenDisabled) {
+  Scenario s(small_params(10));
+  auto algo = algorithms::make_ol_gd(s.problem(), s.demands(),
+                                     algorithms::OlOptions{}, 1);
+  RunResult r = s.simulator().run(*algo);
+  EXPECT_TRUE(r.cumulative_regret.empty());
+}
+
+TEST(RunResult, EmptyStatsAreZero) {
+  RunResult r;
+  EXPECT_DOUBLE_EQ(r.mean_delay_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(r.mean_decision_time_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(r.tail_mean_delay_ms(5), 0.0);
+}
+
+TEST(Simulator, BaselinesRunOnScenario) {
+  Scenario s(small_params(11));
+  auto greedy = algorithms::make_greedy_gd(s.problem(), s.demands(), s.historical_delay_estimates());
+  auto pri = algorithms::make_pri_gd(s.problem(), s.demands(), s.historical_delay_estimates());
+  RunResult rg = s.simulator().run(*greedy);
+  RunResult rp = s.simulator().run(*pri);
+  EXPECT_GT(rg.mean_delay_ms(), 0.0);
+  EXPECT_GT(rp.mean_delay_ms(), 0.0);
+}
+
+}  // namespace
+}  // namespace mecsc::sim
