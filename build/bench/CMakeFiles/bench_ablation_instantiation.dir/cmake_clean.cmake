@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_instantiation.dir/bench_ablation_instantiation.cpp.o"
+  "CMakeFiles/bench_ablation_instantiation.dir/bench_ablation_instantiation.cpp.o.d"
+  "bench_ablation_instantiation"
+  "bench_ablation_instantiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_instantiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rnn.dir/bench_ablation_rnn.cpp.o"
+  "CMakeFiles/bench_ablation_rnn.dir/bench_ablation_rnn.cpp.o.d"
+  "bench_ablation_rnn"
+  "bench_ablation_rnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ucb.dir/bench_ablation_ucb.cpp.o"
+  "CMakeFiles/bench_ablation_ucb.dir/bench_ablation_ucb.cpp.o.d"
+  "bench_ablation_ucb"
+  "bench_ablation_ucb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ucb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3.cpp" "bench/CMakeFiles/bench_fig3.dir/bench_fig3.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3.dir/bench_fig3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mecsc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mecsc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mecsc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mecsc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mecsc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mecsc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/gan/CMakeFiles/mecsc_gan.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/mecsc_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mecsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algorithms/CMakeFiles/mecsc_algorithms.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mecsc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lp_vs_flow.dir/bench_lp_vs_flow.cpp.o"
+  "CMakeFiles/bench_lp_vs_flow.dir/bench_lp_vs_flow.cpp.o.d"
+  "bench_lp_vs_flow"
+  "bench_lp_vs_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lp_vs_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_predictors.dir/bench_predictors.cpp.o"
+  "CMakeFiles/bench_predictors.dir/bench_predictors.cpp.o.d"
+  "bench_predictors"
+  "bench_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc_cli.dir/mecsc_cli.cpp.o"
+  "CMakeFiles/mecsc_cli.dir/mecsc_cli.cpp.o.d"
+  "mecsc_cli"
+  "mecsc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/museum_vr_burst.dir/museum_vr_burst.cpp.o"
+  "CMakeFiles/museum_vr_burst.dir/museum_vr_burst.cpp.o.d"
+  "museum_vr_burst"
+  "museum_vr_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/museum_vr_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

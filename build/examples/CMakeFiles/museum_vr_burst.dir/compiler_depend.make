@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for museum_vr_burst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc_algorithms.dir/baselines.cpp.o"
+  "CMakeFiles/mecsc_algorithms.dir/baselines.cpp.o.d"
+  "CMakeFiles/mecsc_algorithms.dir/ol_gd.cpp.o"
+  "CMakeFiles/mecsc_algorithms.dir/ol_gd.cpp.o.d"
+  "libmecsc_algorithms.a"
+  "libmecsc_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc_common.dir/rng.cpp.o"
+  "CMakeFiles/mecsc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mecsc_common.dir/stats.cpp.o"
+  "CMakeFiles/mecsc_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mecsc_common.dir/table.cpp.o"
+  "CMakeFiles/mecsc_common.dir/table.cpp.o.d"
+  "libmecsc_common.a"
+  "libmecsc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/assignment.cpp" "src/core/CMakeFiles/mecsc_core.dir/assignment.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/assignment.cpp.o.d"
+  "/root/repo/src/core/bandit.cpp" "src/core/CMakeFiles/mecsc_core.dir/bandit.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/bandit.cpp.o.d"
+  "/root/repo/src/core/fractional_solver.cpp" "src/core/CMakeFiles/mecsc_core.dir/fractional_solver.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/fractional_solver.cpp.o.d"
+  "/root/repo/src/core/lp_formulation.cpp" "src/core/CMakeFiles/mecsc_core.dir/lp_formulation.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/lp_formulation.cpp.o.d"
+  "/root/repo/src/core/problem.cpp" "src/core/CMakeFiles/mecsc_core.dir/problem.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/problem.cpp.o.d"
+  "/root/repo/src/core/regret.cpp" "src/core/CMakeFiles/mecsc_core.dir/regret.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/regret.cpp.o.d"
+  "/root/repo/src/core/rounding.cpp" "src/core/CMakeFiles/mecsc_core.dir/rounding.cpp.o" "gcc" "src/core/CMakeFiles/mecsc_core.dir/rounding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mecsc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/mecsc_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/flow/CMakeFiles/mecsc_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/mecsc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mecsc_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc_core.dir/assignment.cpp.o"
+  "CMakeFiles/mecsc_core.dir/assignment.cpp.o.d"
+  "CMakeFiles/mecsc_core.dir/bandit.cpp.o"
+  "CMakeFiles/mecsc_core.dir/bandit.cpp.o.d"
+  "CMakeFiles/mecsc_core.dir/fractional_solver.cpp.o"
+  "CMakeFiles/mecsc_core.dir/fractional_solver.cpp.o.d"
+  "CMakeFiles/mecsc_core.dir/lp_formulation.cpp.o"
+  "CMakeFiles/mecsc_core.dir/lp_formulation.cpp.o.d"
+  "CMakeFiles/mecsc_core.dir/problem.cpp.o"
+  "CMakeFiles/mecsc_core.dir/problem.cpp.o.d"
+  "CMakeFiles/mecsc_core.dir/regret.cpp.o"
+  "CMakeFiles/mecsc_core.dir/regret.cpp.o.d"
+  "CMakeFiles/mecsc_core.dir/rounding.cpp.o"
+  "CMakeFiles/mecsc_core.dir/rounding.cpp.o.d"
+  "libmecsc_core.a"
+  "libmecsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc_flow.dir/min_cost_flow.cpp.o"
+  "CMakeFiles/mecsc_flow.dir/min_cost_flow.cpp.o.d"
+  "libmecsc_flow.a"
+  "libmecsc_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc_gan.dir/info_rnn_gan.cpp.o"
+  "CMakeFiles/mecsc_gan.dir/info_rnn_gan.cpp.o.d"
+  "libmecsc_gan.a"
+  "libmecsc_gan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc_gan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

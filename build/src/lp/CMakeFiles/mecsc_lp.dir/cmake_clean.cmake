@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc_lp.dir/model.cpp.o"
+  "CMakeFiles/mecsc_lp.dir/model.cpp.o.d"
+  "CMakeFiles/mecsc_lp.dir/simplex.cpp.o"
+  "CMakeFiles/mecsc_lp.dir/simplex.cpp.o.d"
+  "libmecsc_lp.a"
+  "libmecsc_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/base_station.cpp" "src/net/CMakeFiles/mecsc_net.dir/base_station.cpp.o" "gcc" "src/net/CMakeFiles/mecsc_net.dir/base_station.cpp.o.d"
+  "/root/repo/src/net/delay_process.cpp" "src/net/CMakeFiles/mecsc_net.dir/delay_process.cpp.o" "gcc" "src/net/CMakeFiles/mecsc_net.dir/delay_process.cpp.o.d"
+  "/root/repo/src/net/generators.cpp" "src/net/CMakeFiles/mecsc_net.dir/generators.cpp.o" "gcc" "src/net/CMakeFiles/mecsc_net.dir/generators.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/net/CMakeFiles/mecsc_net.dir/topology.cpp.o" "gcc" "src/net/CMakeFiles/mecsc_net.dir/topology.cpp.o.d"
+  "/root/repo/src/net/wireless.cpp" "src/net/CMakeFiles/mecsc_net.dir/wireless.cpp.o" "gcc" "src/net/CMakeFiles/mecsc_net.dir/wireless.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mecsc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc_net.dir/base_station.cpp.o"
+  "CMakeFiles/mecsc_net.dir/base_station.cpp.o.d"
+  "CMakeFiles/mecsc_net.dir/delay_process.cpp.o"
+  "CMakeFiles/mecsc_net.dir/delay_process.cpp.o.d"
+  "CMakeFiles/mecsc_net.dir/generators.cpp.o"
+  "CMakeFiles/mecsc_net.dir/generators.cpp.o.d"
+  "CMakeFiles/mecsc_net.dir/topology.cpp.o"
+  "CMakeFiles/mecsc_net.dir/topology.cpp.o.d"
+  "CMakeFiles/mecsc_net.dir/wireless.cpp.o"
+  "CMakeFiles/mecsc_net.dir/wireless.cpp.o.d"
+  "libmecsc_net.a"
+  "libmecsc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc_nn.dir/autodiff.cpp.o"
+  "CMakeFiles/mecsc_nn.dir/autodiff.cpp.o.d"
+  "CMakeFiles/mecsc_nn.dir/layers.cpp.o"
+  "CMakeFiles/mecsc_nn.dir/layers.cpp.o.d"
+  "CMakeFiles/mecsc_nn.dir/matrix.cpp.o"
+  "CMakeFiles/mecsc_nn.dir/matrix.cpp.o.d"
+  "CMakeFiles/mecsc_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/mecsc_nn.dir/optimizer.cpp.o.d"
+  "libmecsc_nn.a"
+  "libmecsc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

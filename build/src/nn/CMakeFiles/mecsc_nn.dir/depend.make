@@ -1,0 +1,2 @@
+# Empty dependencies file for mecsc_nn.
+# This may be replaced when dependencies are built.

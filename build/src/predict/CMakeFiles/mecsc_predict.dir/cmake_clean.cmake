@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc_predict.dir/gan_predictor.cpp.o"
+  "CMakeFiles/mecsc_predict.dir/gan_predictor.cpp.o.d"
+  "CMakeFiles/mecsc_predict.dir/predictor.cpp.o"
+  "CMakeFiles/mecsc_predict.dir/predictor.cpp.o.d"
+  "libmecsc_predict.a"
+  "libmecsc_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc_sim.dir/scenario.cpp.o"
+  "CMakeFiles/mecsc_sim.dir/scenario.cpp.o.d"
+  "CMakeFiles/mecsc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/mecsc_sim.dir/simulator.cpp.o.d"
+  "libmecsc_sim.a"
+  "libmecsc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mecsc_workload.dir/demand_model.cpp.o"
+  "CMakeFiles/mecsc_workload.dir/demand_model.cpp.o.d"
+  "CMakeFiles/mecsc_workload.dir/mobility.cpp.o"
+  "CMakeFiles/mecsc_workload.dir/mobility.cpp.o.d"
+  "CMakeFiles/mecsc_workload.dir/trace.cpp.o"
+  "CMakeFiles/mecsc_workload.dir/trace.cpp.o.d"
+  "libmecsc_workload.a"
+  "libmecsc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mecsc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

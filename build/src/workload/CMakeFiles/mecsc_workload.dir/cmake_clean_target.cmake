@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmecsc_workload.a"
+)

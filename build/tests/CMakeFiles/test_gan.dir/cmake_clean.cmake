@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gan.dir/test_gan.cpp.o"
+  "CMakeFiles/test_gan.dir/test_gan.cpp.o.d"
+  "test_gan"
+  "test_gan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
