@@ -7,6 +7,7 @@
 #include "algorithms/ol_gd.h"
 #include "bench_util.h"
 #include "common/stats.h"
+#include "sim/replication.h"
 #include "sim/scenario.h"
 
 using namespace mecsc;
@@ -22,23 +23,31 @@ int main() {
   common::Table t({"gamma", "mean delay (ms)", "tail delay (ms, last 50)"});
   for (double gamma : gammas) {
     common::RunningStats mean_d, tail_d;
-    for (std::size_t rep = 0; rep < topologies; ++rep) {
-      sim::ScenarioParams p;
-      p.num_stations = 100;
-      p.horizon = slots;
-      p.workload.num_requests = 100;
-      p.seed = 7000 + rep;  // same topologies for every gamma
-      sim::Scenario s(p);
-      algorithms::OlOptions opt;
-      opt.theta_prior = s.theta_prior();
-      opt.gamma = gamma;
-      auto algo = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
-                                         s.algorithm_seed(0));
-      sim::RunResult r = s.simulator().run(*algo);
-      mean_d.add(r.mean_delay_ms());
-      tail_d.add(r.tail_mean_delay_ms(slots / 2));
-      std::cout << "." << std::flush;
-    }
+    struct RepResult {
+      double mean_d, tail_d;
+    };
+    sim::run_replications(
+        topologies,
+        [&](std::size_t rep) {
+          sim::ScenarioParams p;
+          p.num_stations = 100;
+          p.horizon = slots;
+          p.workload.num_requests = 100;
+          p.seed = 7000 + rep;  // same topologies for every gamma
+          sim::Scenario s(p);
+          algorithms::OlOptions opt;
+          opt.theta_prior = s.theta_prior();
+          opt.gamma = gamma;
+          auto algo = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
+                                             s.algorithm_seed(0));
+          sim::RunResult r = s.simulator().run(*algo);
+          return RepResult{r.mean_delay_ms(), r.tail_mean_delay_ms(slots / 2)};
+        },
+        [&](std::size_t, RepResult& r) {
+          mean_d.add(r.mean_d);
+          tail_d.add(r.tail_d);
+          std::cout << "." << std::flush;
+        });
     t.add_row_values({gamma, mean_d.mean(), tail_d.mean()}, 2);
   }
   std::cout << "\n";

@@ -11,6 +11,7 @@
 #include "algorithms/ol_gd.h"
 #include "bench_util.h"
 #include "common/stats.h"
+#include "sim/replication.h"
 #include "sim/scenario.h"
 
 using namespace mecsc;
@@ -23,26 +24,32 @@ int main() {
                       "Design-choice ablation A6");
 
   common::RunningStats ol_full, ol_inc, pri_full, pri_inc;
-  for (std::size_t rep = 0; rep < topologies; ++rep) {
-    sim::ScenarioParams p;
-    p.num_stations = 100;
-    p.horizon = slots;
-    p.workload.num_requests = 100;
-    p.seed = 10000 + rep;
-    sim::Scenario s(p);
-    algorithms::OlOptions opt;
-    auto ol = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
-                                     s.algorithm_seed(0));
-    auto pri = algorithms::make_pri_gd(s.problem(), s.demands(),
-                                       s.historical_delay_estimates());
-    sim::RunResult r_ol = s.simulator().run(*ol);
-    sim::RunResult r_pri = s.simulator().run(*pri);
-    ol_full.add(r_ol.mean_delay_ms());
-    ol_inc.add(r_ol.mean_delay_incremental_ms());
-    pri_full.add(r_pri.mean_delay_ms());
-    pri_inc.add(r_pri.mean_delay_incremental_ms());
-    std::cout << "." << std::flush;
-  }
+  struct RepResult {
+    sim::RunResult ol, pri;
+  };
+  sim::run_replications(
+      topologies,
+      [&](std::size_t rep) {
+        sim::ScenarioParams p;
+        p.num_stations = 100;
+        p.horizon = slots;
+        p.workload.num_requests = 100;
+        p.seed = 10000 + rep;
+        sim::Scenario s(p);
+        algorithms::OlOptions opt;
+        auto ol = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
+                                         s.algorithm_seed(0));
+        auto pri = algorithms::make_pri_gd(s.problem(), s.demands(),
+                                           s.historical_delay_estimates());
+        return RepResult{s.simulator().run(*ol), s.simulator().run(*pri)};
+      },
+      [&](std::size_t, RepResult& r) {
+        ol_full.add(r.ol.mean_delay_ms());
+        ol_inc.add(r.ol.mean_delay_incremental_ms());
+        pri_full.add(r.pri.mean_delay_ms());
+        pri_inc.add(r.pri.mean_delay_incremental_ms());
+        std::cout << "." << std::flush;
+      });
   std::cout << "\n";
 
   common::Table t({"algorithm", "Eq. 3 accounting (ms)", "on-change accounting (ms)",

@@ -12,6 +12,7 @@
 #include "algorithms/ol_gd.h"
 #include "bench_util.h"
 #include "common/stats.h"
+#include "sim/replication.h"
 #include "sim/scenario.h"
 #include "workload/mobility.h"
 
@@ -28,33 +29,42 @@ int main() {
                    "OL_GD advantage"});
   for (double relocate : {0.0, 0.05, 0.15}) {
     common::RunningStats d_ol, d_pri;
-    for (std::size_t rep = 0; rep < topologies; ++rep) {
-      sim::ScenarioParams p;
-      p.num_stations = 100;
-      p.horizon = slots;
-      p.workload.num_requests = 100;
-      p.seed = 12000 + rep;
-      sim::Scenario s(p);
+    struct RepResult {
+      double ol, pri;
+    };
+    sim::run_replications(
+        topologies,
+        [&](std::size_t rep) {
+          sim::ScenarioParams p;
+          p.num_stations = 100;
+          p.horizon = slots;
+          p.workload.num_requests = 100;
+          p.seed = 12000 + rep;
+          sim::Scenario s(p);
 
-      workload::MobilityParams mp;
-      mp.relocate_probability = relocate;
-      workload::MobilityModel mobility(mp, s.workload().cluster_centers);
-      common::Rng mob_rng(s.algorithm_seed(20));
-      auto states = mobility.unroll(s.workload().requests, s.topology(), slots,
-                                    mob_rng);
-      s.mutable_simulator().set_before_slot([&s, &states](std::size_t t) {
-        s.mutable_problem().update_user_locations(states[t]);
-      });
+          workload::MobilityParams mp;
+          mp.relocate_probability = relocate;
+          workload::MobilityModel mobility(mp, s.workload().cluster_centers);
+          common::Rng mob_rng(s.algorithm_seed(20));
+          auto states = mobility.unroll(s.workload().requests, s.topology(),
+                                        slots, mob_rng);
+          s.mutable_simulator().set_before_slot([&s, &states](std::size_t t) {
+            s.mutable_problem().update_user_locations(states[t]);
+          });
 
-      algorithms::OlOptions opt;
-      auto ol = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
-                                       s.algorithm_seed(0));
-      auto pri = algorithms::make_pri_gd(s.problem(), s.demands(),
-                                         s.historical_delay_estimates());
-      d_ol.add(s.simulator().run(*ol).mean_delay_ms());
-      d_pri.add(s.simulator().run(*pri).mean_delay_ms());
-      std::cout << "." << std::flush;
-    }
+          algorithms::OlOptions opt;
+          auto ol = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
+                                           s.algorithm_seed(0));
+          auto pri = algorithms::make_pri_gd(s.problem(), s.demands(),
+                                             s.historical_delay_estimates());
+          return RepResult{s.simulator().run(*ol).mean_delay_ms(),
+                           s.simulator().run(*pri).mean_delay_ms()};
+        },
+        [&](std::size_t, RepResult& r) {
+          d_ol.add(r.ol);
+          d_pri.add(r.pri);
+          std::cout << "." << std::flush;
+        });
     double adv = 100.0 * (d_pri.mean() - d_ol.mean()) / d_pri.mean();
     t.add_row({common::fmt(relocate, 2), common::fmt(d_ol.mean(), 2),
                common::fmt(d_pri.mean(), 2), common::fmt(adv, 1) + "%"});

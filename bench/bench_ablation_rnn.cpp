@@ -11,6 +11,7 @@
 #include "common/stopwatch.h"
 #include "predict/gan_predictor.h"
 #include "predict/predictor.h"
+#include "sim/replication.h"
 #include "sim/scenario.h"
 
 using namespace mecsc;
@@ -26,34 +27,45 @@ int main() {
                    "G parameters"});
   for (auto kind : {nn::RnnKind::kLstm, nn::RnnKind::kGru}) {
     common::RunningStats mae, train_ms, params;
-    for (std::size_t rep = 0; rep < topologies; ++rep) {
-      sim::ScenarioParams p;
-      p.num_stations = 60;
-      p.horizon = 60;
-      p.bursty = true;
-      p.workload.num_requests = 60;
-      p.seed = 13000 + rep;
-      sim::Scenario s(p);
+    struct RepResult {
+      double mae, train_ms, params;
+    };
+    sim::run_replications(
+        topologies,
+        [&](std::size_t rep) {
+          sim::ScenarioParams p;
+          p.num_stations = 60;
+          p.horizon = 60;
+          p.bursty = true;
+          p.workload.num_requests = 60;
+          p.seed = 13000 + rep;
+          sim::Scenario s(p);
 
-      predict::GanPredictorOptions gopt;
-      gopt.train_steps = gan_steps;
-      gopt.gan.rnn = kind;
-      common::Stopwatch watch;
-      predict::GanDemandPredictor gan(s.workload().requests, s.trace(), gopt,
-                                      s.algorithm_seed(10));
-      train_ms.add(watch.elapsed_ms());
-      params.add(static_cast<double>(gan.model().generator_parameter_count()));
+          predict::GanPredictorOptions gopt;
+          gopt.train_steps = gan_steps;
+          gopt.gan.rnn = kind;
+          common::Stopwatch watch;
+          predict::GanDemandPredictor gan(s.workload().requests, s.trace(), gopt,
+                                          s.algorithm_seed(10));
+          double trained = watch.elapsed_ms();
 
-      common::RunningStats err;
-      for (std::size_t slot = 0; slot < s.demands().horizon(); ++slot) {
-        auto predicted = gan.predict(slot);
-        auto actual = s.demands().slot(slot);
-        err.add(predict::mean_absolute_error(predicted, actual));
-        gan.observe(slot, actual);
-      }
-      mae.add(err.mean());
-      std::cout << "." << std::flush;
-    }
+          common::RunningStats err;
+          for (std::size_t slot = 0; slot < s.demands().horizon(); ++slot) {
+            auto predicted = gan.predict(slot);
+            auto actual = s.demands().slot(slot);
+            err.add(predict::mean_absolute_error(predicted, actual));
+            gan.observe(slot, actual);
+          }
+          return RepResult{
+              err.mean(), trained,
+              static_cast<double>(gan.model().generator_parameter_count())};
+        },
+        [&](std::size_t, RepResult& r) {
+          mae.add(r.mae);
+          train_ms.add(r.train_ms);
+          params.add(r.params);
+          std::cout << "." << std::flush;
+        });
     t.add_row({kind == nn::RnnKind::kLstm ? "Bi-LSTM (paper)" : "Bi-GRU",
                common::fmt(mae.mean(), 3), common::fmt(train_ms.mean(), 0),
                common::fmt(params.mean(), 0)});

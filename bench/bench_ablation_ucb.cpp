@@ -9,6 +9,7 @@
 #include "algorithms/ol_gd.h"
 #include "bench_util.h"
 #include "common/stats.h"
+#include "sim/replication.h"
 #include "sim/scenario.h"
 
 using namespace mecsc;
@@ -42,21 +43,31 @@ int main() {
                    "arm coverage"});
   for (auto& v : variants) {
     common::RunningStats mean_d, tail_d, cov;
-    for (std::size_t rep = 0; rep < topologies; ++rep) {
-      sim::ScenarioParams p;
-      p.num_stations = 100;
-      p.horizon = slots;
-      p.workload.num_requests = 100;
-      p.seed = 11000 + rep;
-      sim::Scenario s(p);
-      algorithms::OnlineCachingAlgorithm algo("OL_GD", s.problem(), &s.demands(),
-                                              v.opt, s.algorithm_seed(0));
-      sim::RunResult r = s.simulator().run(algo);
-      mean_d.add(r.mean_delay_ms());
-      tail_d.add(r.tail_mean_delay_ms(slots / 2));
-      cov.add(algo.bandit().coverage());
-      std::cout << "." << std::flush;
-    }
+    struct RepResult {
+      double mean_d, tail_d, coverage;
+    };
+    sim::run_replications(
+        topologies,
+        [&](std::size_t rep) {
+          sim::ScenarioParams p;
+          p.num_stations = 100;
+          p.horizon = slots;
+          p.workload.num_requests = 100;
+          p.seed = 11000 + rep;
+          sim::Scenario s(p);
+          algorithms::OnlineCachingAlgorithm algo("OL_GD", s.problem(),
+                                                  &s.demands(), v.opt,
+                                                  s.algorithm_seed(0));
+          sim::RunResult r = s.simulator().run(algo);
+          return RepResult{r.mean_delay_ms(), r.tail_mean_delay_ms(slots / 2),
+                           algo.bandit().coverage()};
+        },
+        [&](std::size_t, RepResult& r) {
+          mean_d.add(r.mean_d);
+          tail_d.add(r.tail_d);
+          cov.add(r.coverage);
+          std::cout << "." << std::flush;
+        });
     t.add_row({v.name, common::fmt(mean_d.mean(), 2), common::fmt(tail_d.mean(), 2),
                common::fmt(cov.mean(), 2)});
   }

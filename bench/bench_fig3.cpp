@@ -10,6 +10,7 @@
 #include "algorithms/ol_gd.h"
 #include "bench_util.h"
 #include "common/stats.h"
+#include "sim/replication.h"
 #include "sim/scenario.h"
 
 using namespace mecsc;
@@ -33,44 +34,50 @@ int main() {
   common::RunningStats mean_ol, mean_gr, mean_pr;
   common::RunningStats time_ol, time_gr, time_pr;
 
-  for (std::size_t rep = 0; rep < topologies; ++rep) {
-    sim::ScenarioParams p;
-    p.num_stations = stations;
-    p.horizon = slots;
-    p.workload.num_requests = requests;
-    p.seed = 1000 + rep;
-    sim::Scenario s(p);
+  struct RepResult {
+    sim::RunResult ol, gr, pr;
+  };
+  sim::run_replications(
+      topologies,
+      [&](std::size_t rep) {
+        sim::ScenarioParams p;
+        p.num_stations = stations;
+        p.horizon = slots;
+        p.workload.num_requests = requests;
+        p.seed = 1000 + rep;
+        sim::Scenario s(p);
 
-    algorithms::OlOptions opt;
-    opt.theta_prior = s.theta_prior();
-    auto ol = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
-                                     s.algorithm_seed(0));
-    auto gr = algorithms::make_greedy_gd(s.problem(), s.demands(), s.historical_delay_estimates());
-    auto pr = algorithms::make_pri_gd(s.problem(), s.demands(), s.historical_delay_estimates());
-
-    sim::RunResult r_ol = s.simulator().run(*ol);
-    sim::RunResult r_gr = s.simulator().run(*gr);
-    sim::RunResult r_pr = s.simulator().run(*pr);
-
-    for (std::size_t b = 0; b < slots / kBucket; ++b) {
-      double a_ol = 0.0, a_gr = 0.0, a_pr = 0.0;
-      for (std::size_t t = b * kBucket; t < (b + 1) * kBucket; ++t) {
-        a_ol += r_ol.slots[t].avg_delay_ms;
-        a_gr += r_gr.slots[t].avg_delay_ms;
-        a_pr += r_pr.slots[t].avg_delay_ms;
-      }
-      series_ol[b].add(a_ol / kBucket);
-      series_gr[b].add(a_gr / kBucket);
-      series_pr[b].add(a_pr / kBucket);
-    }
-    mean_ol.add(r_ol.mean_delay_ms());
-    mean_gr.add(r_gr.mean_delay_ms());
-    mean_pr.add(r_pr.mean_delay_ms());
-    time_ol.add(r_ol.total_decision_time_ms());
-    time_gr.add(r_gr.total_decision_time_ms());
-    time_pr.add(r_pr.total_decision_time_ms());
-    std::cout << "." << std::flush;
-  }
+        algorithms::OlOptions opt;
+        opt.theta_prior = s.theta_prior();
+        auto ol = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
+                                         s.algorithm_seed(0));
+        auto gr = algorithms::make_greedy_gd(s.problem(), s.demands(),
+                                             s.historical_delay_estimates());
+        auto pr = algorithms::make_pri_gd(s.problem(), s.demands(),
+                                          s.historical_delay_estimates());
+        return RepResult{s.simulator().run(*ol), s.simulator().run(*gr),
+                         s.simulator().run(*pr)};
+      },
+      [&](std::size_t, RepResult& r) {
+        for (std::size_t b = 0; b < slots / kBucket; ++b) {
+          double a_ol = 0.0, a_gr = 0.0, a_pr = 0.0;
+          for (std::size_t t = b * kBucket; t < (b + 1) * kBucket; ++t) {
+            a_ol += r.ol.slots[t].avg_delay_ms;
+            a_gr += r.gr.slots[t].avg_delay_ms;
+            a_pr += r.pr.slots[t].avg_delay_ms;
+          }
+          series_ol[b].add(a_ol / kBucket);
+          series_gr[b].add(a_gr / kBucket);
+          series_pr[b].add(a_pr / kBucket);
+        }
+        mean_ol.add(r.ol.mean_delay_ms());
+        mean_gr.add(r.gr.mean_delay_ms());
+        mean_pr.add(r.pr.mean_delay_ms());
+        time_ol.add(r.ol.total_decision_time_ms());
+        time_gr.add(r.gr.total_decision_time_ms());
+        time_pr.add(r.pr.total_decision_time_ms());
+        std::cout << "." << std::flush;
+      });
   std::cout << "\n";
 
   common::Table fig3a({"slot", "OL_GD", "Greedy_GD", "Pri_GD"});

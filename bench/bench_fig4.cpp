@@ -9,6 +9,7 @@
 #include "algorithms/ol_gd.h"
 #include "bench_util.h"
 #include "common/stats.h"
+#include "sim/replication.h"
 #include "sim/scenario.h"
 
 using namespace mecsc;
@@ -28,30 +29,38 @@ int main() {
 
   for (std::size_t n : sizes) {
     common::RunningStats d_ol, d_gr, d_pr, t_ol, t_gr, t_pr;
-    for (std::size_t rep = 0; rep < topologies; ++rep) {
-      sim::ScenarioParams p;
-      p.num_stations = n;
-      p.horizon = slots;
-      p.workload.num_requests = 100;
-      p.seed = 2000 + 17 * n + rep;
-      sim::Scenario s(p);
-      algorithms::OlOptions opt;
-      opt.theta_prior = s.theta_prior();
-      auto ol = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
-                                       s.algorithm_seed(0));
-      auto gr = algorithms::make_greedy_gd(s.problem(), s.demands(), s.historical_delay_estimates());
-      auto pr = algorithms::make_pri_gd(s.problem(), s.demands(), s.historical_delay_estimates());
-      sim::RunResult r_ol = s.simulator().run(*ol);
-      sim::RunResult r_gr = s.simulator().run(*gr);
-      sim::RunResult r_pr = s.simulator().run(*pr);
-      d_ol.add(r_ol.mean_delay_ms());
-      d_gr.add(r_gr.mean_delay_ms());
-      d_pr.add(r_pr.mean_delay_ms());
-      t_ol.add(r_ol.total_decision_time_ms());
-      t_gr.add(r_gr.total_decision_time_ms());
-      t_pr.add(r_pr.total_decision_time_ms());
-      std::cout << "." << std::flush;
-    }
+    struct RepResult {
+      sim::RunResult ol, gr, pr;
+    };
+    sim::run_replications(
+        topologies,
+        [&](std::size_t rep) {
+          sim::ScenarioParams p;
+          p.num_stations = n;
+          p.horizon = slots;
+          p.workload.num_requests = 100;
+          p.seed = 2000 + 17 * n + rep;
+          sim::Scenario s(p);
+          algorithms::OlOptions opt;
+          opt.theta_prior = s.theta_prior();
+          auto ol = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
+                                           s.algorithm_seed(0));
+          auto gr = algorithms::make_greedy_gd(s.problem(), s.demands(),
+                                               s.historical_delay_estimates());
+          auto pr = algorithms::make_pri_gd(s.problem(), s.demands(),
+                                            s.historical_delay_estimates());
+          return RepResult{s.simulator().run(*ol), s.simulator().run(*gr),
+                           s.simulator().run(*pr)};
+        },
+        [&](std::size_t, RepResult& r) {
+          d_ol.add(r.ol.mean_delay_ms());
+          d_gr.add(r.gr.mean_delay_ms());
+          d_pr.add(r.pr.mean_delay_ms());
+          t_ol.add(r.ol.total_decision_time_ms());
+          t_gr.add(r.gr.total_decision_time_ms());
+          t_pr.add(r.pr.total_decision_time_ms());
+          std::cout << "." << std::flush;
+        });
     fig4a.add_row_values({static_cast<double>(n), d_ol.mean(), d_gr.mean(),
                           d_pr.mean()}, 2);
     fig4b.add_row_values({static_cast<double>(n), t_ol.mean(), t_gr.mean(),

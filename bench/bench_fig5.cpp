@@ -10,6 +10,7 @@
 #include "algorithms/ol_gd.h"
 #include "bench_util.h"
 #include "common/stats.h"
+#include "sim/replication.h"
 #include "sim/scenario.h"
 
 using namespace mecsc;
@@ -23,25 +24,34 @@ struct Point {
 Point run_family(sim::ScenarioParams::NetKind kind, std::size_t stations,
                  std::size_t slots, std::size_t topologies, std::uint64_t seed0) {
   common::RunningStats d_ol, d_gr, d_pr;
-  for (std::size_t rep = 0; rep < topologies; ++rep) {
-    sim::ScenarioParams p;
-    p.net = kind;
-    p.num_stations = stations;
-    p.horizon = slots;
-    p.workload.num_requests = 100;
-    p.seed = seed0 + rep;
-    sim::Scenario s(p);
-    algorithms::OlOptions opt;
-    opt.theta_prior = s.theta_prior();
-    auto ol = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
-                                     s.algorithm_seed(0));
-    auto gr = algorithms::make_greedy_gd(s.problem(), s.demands(), s.historical_delay_estimates());
-    auto pr = algorithms::make_pri_gd(s.problem(), s.demands(), s.historical_delay_estimates());
-    d_ol.add(s.simulator().run(*ol).mean_delay_ms());
-    d_gr.add(s.simulator().run(*gr).mean_delay_ms());
-    d_pr.add(s.simulator().run(*pr).mean_delay_ms());
-    std::cout << "." << std::flush;
-  }
+  sim::run_replications(
+      topologies,
+      [&](std::size_t rep) {
+        sim::ScenarioParams p;
+        p.net = kind;
+        p.num_stations = stations;
+        p.horizon = slots;
+        p.workload.num_requests = 100;
+        p.seed = seed0 + rep;
+        sim::Scenario s(p);
+        algorithms::OlOptions opt;
+        opt.theta_prior = s.theta_prior();
+        auto ol = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
+                                         s.algorithm_seed(0));
+        auto gr = algorithms::make_greedy_gd(s.problem(), s.demands(),
+                                             s.historical_delay_estimates());
+        auto pr = algorithms::make_pri_gd(s.problem(), s.demands(),
+                                          s.historical_delay_estimates());
+        return Point{s.simulator().run(*ol).mean_delay_ms(),
+                     s.simulator().run(*gr).mean_delay_ms(),
+                     s.simulator().run(*pr).mean_delay_ms()};
+      },
+      [&](std::size_t, Point& r) {
+        d_ol.add(r.ol);
+        d_gr.add(r.gr);
+        d_pr.add(r.pr);
+        std::cout << "." << std::flush;
+      });
   return {d_ol.mean(), d_gr.mean(), d_pr.mean()};
 }
 

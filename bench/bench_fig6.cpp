@@ -11,6 +11,7 @@
 #include "common/stats.h"
 #include "common/stopwatch.h"
 #include "predict/gan_predictor.h"
+#include "sim/replication.h"
 #include "sim/scenario.h"
 
 using namespace mecsc;
@@ -32,47 +33,55 @@ int main() {
   std::vector<common::RunningStats> series_reg(slots / kBucket);
   common::RunningStats d_gan, d_reg, t_gan, t_reg, train_ms;
 
-  for (std::size_t rep = 0; rep < topologies; ++rep) {
-    sim::ScenarioParams p;
-    p.num_stations = stations;
-    p.horizon = slots;
-    p.bursty = true;
-    p.workload.num_requests = 100;
-    p.seed = 4000 + rep;
-    sim::Scenario s(p);
+  struct RepResult {
+    sim::RunResult gan, reg;
+    double train_ms = 0.0;
+  };
+  sim::run_replications(
+      topologies,
+      [&](std::size_t rep) {
+        sim::ScenarioParams p;
+        p.num_stations = stations;
+        p.horizon = slots;
+        p.bursty = true;
+        p.workload.num_requests = 100;
+        p.seed = 4000 + rep;
+        sim::Scenario s(p);
 
-    algorithms::OlOptions opt;
-    opt.theta_prior = s.theta_prior();
+        algorithms::OlOptions opt;
+        opt.theta_prior = s.theta_prior();
 
-    common::Stopwatch train_watch;
-    predict::GanPredictorOptions gopt;
-    gopt.train_steps = gan_steps;
-    auto predictor = std::make_unique<predict::GanDemandPredictor>(
-        s.workload().requests, s.trace(), gopt, s.algorithm_seed(10));
-    train_ms.add(train_watch.elapsed_ms());
+        common::Stopwatch train_watch;
+        predict::GanPredictorOptions gopt;
+        gopt.train_steps = gan_steps;
+        auto predictor = std::make_unique<predict::GanDemandPredictor>(
+            s.workload().requests, s.trace(), gopt, s.algorithm_seed(10));
+        double trained = train_watch.elapsed_ms();
 
-    auto ol_gan = algorithms::make_ol_with_predictor(
-        "OL_GAN", s.problem(), std::move(predictor), opt, s.algorithm_seed(0));
-    auto ol_reg = algorithms::make_ol_reg(s.problem(), 5, opt, s.algorithm_seed(1));
-
-    sim::RunResult r_gan = s.simulator().run(*ol_gan);
-    sim::RunResult r_reg = s.simulator().run(*ol_reg);
-
-    for (std::size_t b = 0; b < slots / kBucket; ++b) {
-      double a_gan = 0.0, a_reg = 0.0;
-      for (std::size_t t = b * kBucket; t < (b + 1) * kBucket; ++t) {
-        a_gan += r_gan.slots[t].avg_delay_ms;
-        a_reg += r_reg.slots[t].avg_delay_ms;
-      }
-      series_gan[b].add(a_gan / kBucket);
-      series_reg[b].add(a_reg / kBucket);
-    }
-    d_gan.add(r_gan.mean_delay_ms());
-    d_reg.add(r_reg.mean_delay_ms());
-    t_gan.add(r_gan.total_decision_time_ms());
-    t_reg.add(r_reg.total_decision_time_ms());
-    std::cout << "." << std::flush;
-  }
+        auto ol_gan = algorithms::make_ol_with_predictor(
+            "OL_GAN", s.problem(), std::move(predictor), opt, s.algorithm_seed(0));
+        auto ol_reg = algorithms::make_ol_reg(s.problem(), 5, opt,
+                                              s.algorithm_seed(1));
+        return RepResult{s.simulator().run(*ol_gan), s.simulator().run(*ol_reg),
+                         trained};
+      },
+      [&](std::size_t, RepResult& r) {
+        train_ms.add(r.train_ms);
+        for (std::size_t b = 0; b < slots / kBucket; ++b) {
+          double a_gan = 0.0, a_reg = 0.0;
+          for (std::size_t t = b * kBucket; t < (b + 1) * kBucket; ++t) {
+            a_gan += r.gan.slots[t].avg_delay_ms;
+            a_reg += r.reg.slots[t].avg_delay_ms;
+          }
+          series_gan[b].add(a_gan / kBucket);
+          series_reg[b].add(a_reg / kBucket);
+        }
+        d_gan.add(r.gan.mean_delay_ms());
+        d_reg.add(r.reg.mean_delay_ms());
+        t_gan.add(r.gan.total_decision_time_ms());
+        t_reg.add(r.reg.total_decision_time_ms());
+        std::cout << "." << std::flush;
+      });
   std::cout << "\n";
 
   common::Table fig6a({"slot", "OL_GAN", "OL_Reg"});

@@ -10,6 +10,7 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "predict/gan_predictor.h"
+#include "sim/replication.h"
 #include "sim/scenario.h"
 
 using namespace mecsc;
@@ -27,32 +28,39 @@ Point run_point(sim::ScenarioParams::NetKind kind, std::size_t stations,
                 std::size_t slots, std::size_t topologies, std::size_t gan_steps,
                 std::uint64_t seed0) {
   common::RunningStats dg, dr, tg, tr;
-  for (std::size_t rep = 0; rep < topologies; ++rep) {
-    sim::ScenarioParams p;
-    p.net = kind;
-    p.num_stations = stations;
-    p.horizon = slots;
-    p.bursty = true;
-    p.workload.num_requests = 100;
-    p.seed = seed0 + rep;
-    sim::Scenario s(p);
-    algorithms::OlOptions opt;
-    opt.theta_prior = s.theta_prior();
-    predict::GanPredictorOptions gopt;
-    gopt.train_steps = gan_steps;
-    auto predictor = std::make_unique<predict::GanDemandPredictor>(
-        s.workload().requests, s.trace(), gopt, s.algorithm_seed(10));
-    auto ol_gan = algorithms::make_ol_with_predictor(
-        "OL_GAN", s.problem(), std::move(predictor), opt, s.algorithm_seed(0));
-    auto ol_reg = algorithms::make_ol_reg(s.problem(), 5, opt, s.algorithm_seed(1));
-    sim::RunResult rg = s.simulator().run(*ol_gan);
-    sim::RunResult rr = s.simulator().run(*ol_reg);
-    dg.add(rg.mean_delay_ms());
-    dr.add(rr.mean_delay_ms());
-    tg.add(rg.total_decision_time_ms());
-    tr.add(rr.total_decision_time_ms());
-    std::cout << "." << std::flush;
-  }
+  struct RepResult {
+    sim::RunResult gan, reg;
+  };
+  sim::run_replications(
+      topologies,
+      [&](std::size_t rep) {
+        sim::ScenarioParams p;
+        p.net = kind;
+        p.num_stations = stations;
+        p.horizon = slots;
+        p.bursty = true;
+        p.workload.num_requests = 100;
+        p.seed = seed0 + rep;
+        sim::Scenario s(p);
+        algorithms::OlOptions opt;
+        opt.theta_prior = s.theta_prior();
+        predict::GanPredictorOptions gopt;
+        gopt.train_steps = gan_steps;
+        auto predictor = std::make_unique<predict::GanDemandPredictor>(
+            s.workload().requests, s.trace(), gopt, s.algorithm_seed(10));
+        auto ol_gan = algorithms::make_ol_with_predictor(
+            "OL_GAN", s.problem(), std::move(predictor), opt, s.algorithm_seed(0));
+        auto ol_reg = algorithms::make_ol_reg(s.problem(), 5, opt,
+                                              s.algorithm_seed(1));
+        return RepResult{s.simulator().run(*ol_gan), s.simulator().run(*ol_reg)};
+      },
+      [&](std::size_t, RepResult& r) {
+        dg.add(r.gan.mean_delay_ms());
+        dr.add(r.reg.mean_delay_ms());
+        tg.add(r.gan.total_decision_time_ms());
+        tr.add(r.reg.total_decision_time_ms());
+        std::cout << "." << std::flush;
+      });
   return {dg.mean(), dr.mean(), tg.mean(), tr.mean()};
 }
 

@@ -1,0 +1,169 @@
+// Performance microbenchmarks for the three optimised layers (DESIGN.md
+// "Performance"):
+//   1. dense simplex: cold vs warm-started per-slot LP solves;
+//   2. nn matrix kernels: allocating matmul vs matmul_into and the
+//      transpose-free backward kernels;
+//   3. one full OL_GD slot (flow-based fractional solve + rounding +
+//      bandit update) on the fig-3-sized workload.
+// Results are printed as a table and written to BENCH_perf.json in the
+// working directory. `--quick` shrinks instances and repetition counts
+// for the CTest perf-smoke label; it checks that the harness runs, not
+// that the numbers are good.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algorithms/ol_gd.h"
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/lp_formulation.h"
+#include "lp/simplex.h"
+#include "nn/matrix.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+using namespace mecsc;
+
+namespace {
+
+struct BenchResult {
+  std::string name;
+  std::size_t iterations = 0;
+  double total_ms = 0.0;
+  double ms_per_iter() const {
+    return iterations == 0 ? 0.0 : total_ms / static_cast<double>(iterations);
+  }
+};
+
+/// Times `body()` run `iters` times.
+template <typename F>
+BenchResult run_bench(std::string name, std::size_t iters, F&& body) {
+  common::Stopwatch watch;
+  for (std::size_t i = 0; i < iters; ++i) body(i);
+  BenchResult r;
+  r.name = std::move(name);
+  r.iterations = iters;
+  r.total_ms = watch.elapsed_ms();
+  std::cout << "  " << r.name << ": " << common::fmt(r.ms_per_iter(), 4)
+            << " ms/iter over " << iters << " iters\n";
+  return r;
+}
+
+void write_json(const std::vector<BenchResult>& results, bool quick) {
+  std::ofstream out("BENCH_perf.json");
+  out << "{\n  \"quick\": " << (quick ? "true" : "false")
+      << ",\n  \"benchmarks\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    out << "    {\"name\": \"" << r.name << "\", \"iterations\": " << r.iterations
+        << ", \"total_ms\": " << r.total_ms
+        << ", \"ms_per_iter\": " << r.ms_per_iter() << "}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  bench::print_header("Performance microbenchmarks (simplex / nn / OL_GD slot)",
+                      std::string("DESIGN.md Performance; BENCH_perf.json") +
+                          (quick ? " [--quick]" : ""));
+
+  std::vector<BenchResult> results;
+
+  // --- 1. Simplex: per-slot LP, cold vs warm-started. --------------------
+  {
+    const std::size_t stations = quick ? 8 : 15;
+    const std::size_t requests = quick ? 10 : 20;
+    const std::size_t solves = quick ? 5 : 30;
+    sim::ScenarioParams p;
+    p.num_stations = stations;
+    p.horizon = solves;
+    p.workload.num_requests = requests;
+    p.seed = 42;
+    sim::Scenario s(p);
+    std::vector<double> theta(stations, s.theta_prior());
+    lp::SimplexSolver solver;
+
+    results.push_back(run_bench(
+        "simplex_cold", solves, [&](std::size_t t) {
+          core::LpFormulation lp(s.problem(), s.demands().slot(t), theta);
+          lp::SimplexWorkspace fresh;
+          (void)lp.solve(solver, fresh);
+        }));
+    lp::SimplexWorkspace ws;
+    results.push_back(run_bench(
+        "simplex_warm", solves, [&](std::size_t t) {
+          core::LpFormulation lp(s.problem(), s.demands().slot(t), theta);
+          (void)lp.solve(solver, ws);
+        }));
+  }
+
+  // --- 2. NN kernels: matmul and the transpose-free backward pair. ------
+  {
+    const std::size_t n = quick ? 32 : 96;
+    const std::size_t iters = quick ? 20 : 200;
+    common::Rng rng(7);
+    nn::Matrix a = nn::Matrix::randn(n, n, rng);
+    nn::Matrix b = nn::Matrix::randn(n, n, rng);
+    nn::Matrix out;
+    double sink = 0.0;  // defeat dead-code elimination
+
+    results.push_back(run_bench("matmul_alloc", iters, [&](std::size_t) {
+      nn::Matrix c = nn::matmul(a, b);
+      sink += c[0];
+    }));
+    results.push_back(run_bench("matmul_into", iters, [&](std::size_t) {
+      nn::matmul_into(out, a, b);
+      sink += out[0];
+    }));
+    results.push_back(run_bench("matmul_abT_into", iters, [&](std::size_t) {
+      nn::matmul_abT_into(out, a, b);
+      sink += out[0];
+    }));
+    results.push_back(run_bench("matmul_aTb_into", iters, [&](std::size_t) {
+      nn::matmul_aTb_into(out, a, b);
+      sink += out[0];
+    }));
+    if (sink == 12345.6789) std::cout << "";  // keep `sink` observable
+  }
+
+  // --- 3. One full OL_GD slot on the fig-3 workload. ---------------------
+  {
+    const std::size_t stations = quick ? 20 : 100;
+    const std::size_t requests = quick ? 20 : 100;
+    const std::size_t slots = quick ? 5 : 30;
+    sim::ScenarioParams p;
+    p.num_stations = stations;
+    p.horizon = slots;
+    p.workload.num_requests = requests;
+    p.seed = 1000;
+    sim::Scenario s(p);
+    algorithms::OlOptions opt;
+    opt.theta_prior = s.theta_prior();
+    auto ol = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
+                                     s.algorithm_seed(0));
+    common::Stopwatch watch;
+    sim::RunResult r = s.simulator().run(*ol);
+    BenchResult b;
+    b.name = "ol_gd_slot";
+    b.iterations = slots;
+    b.total_ms = watch.elapsed_ms();
+    std::cout << "  " << b.name << ": " << common::fmt(b.ms_per_iter(), 4)
+              << " ms/slot over " << slots << " slots (mean delay "
+              << common::fmt(r.mean_delay_ms(), 2) << " ms)\n";
+    results.push_back(b);
+  }
+
+  write_json(results, quick);
+  std::cout << "\nwrote BENCH_perf.json\n";
+  return 0;
+}

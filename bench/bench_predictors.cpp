@@ -11,6 +11,7 @@
 #include "common/stats.h"
 #include "predict/gan_predictor.h"
 #include "predict/predictor.h"
+#include "sim/replication.h"
 #include "sim/scenario.h"
 
 using namespace mecsc;
@@ -44,33 +45,46 @@ int main() {
                    "Info-RNN-GAN"});
   for (double fraction : {0.15, 0.9}) {
     common::RunningStats m_oracle, m_last, m_arma, m_gan;
-    for (std::size_t rep = 0; rep < topologies; ++rep) {
-      sim::ScenarioParams p;
-      p.num_stations = 60;
-      p.horizon = 60;
-      p.bursty = true;
-      p.workload.num_requests = 60;
-      p.trace_sample_fraction = fraction;
-      p.seed = 9000 + rep;
-      sim::Scenario s(p);
+    struct RepResult {
+      double oracle, last, arma, gan;
+    };
+    sim::run_replications(
+        topologies,
+        [&](std::size_t rep) {
+          sim::ScenarioParams p;
+          p.num_stations = 60;
+          p.horizon = 60;
+          p.bursty = true;
+          p.workload.num_requests = 60;
+          p.trace_sample_fraction = fraction;
+          p.seed = 9000 + rep;
+          sim::Scenario s(p);
 
-      std::vector<double> fallback;
-      for (const auto& r : s.workload().requests) fallback.push_back(r.basic_demand);
+          std::vector<double> fallback;
+          for (const auto& r : s.workload().requests) {
+            fallback.push_back(r.basic_demand);
+          }
 
-      predict::OraclePredictor oracle(&s.demands());
-      predict::LastValuePredictor last(fallback);
-      predict::ArmaPredictor arma(5, fallback);
-      predict::GanPredictorOptions gopt;
-      gopt.train_steps = gan_steps;
-      predict::GanDemandPredictor gan(s.workload().requests, s.trace(), gopt,
-                                      s.algorithm_seed(10));
+          predict::OraclePredictor oracle(&s.demands());
+          predict::LastValuePredictor last(fallback);
+          predict::ArmaPredictor arma(5, fallback);
+          predict::GanPredictorOptions gopt;
+          gopt.train_steps = gan_steps;
+          predict::GanDemandPredictor gan(s.workload().requests, s.trace(), gopt,
+                                          s.algorithm_seed(10));
 
-      m_oracle.add(evaluate(oracle, s.demands()));
-      m_last.add(evaluate(last, s.demands()));
-      m_arma.add(evaluate(arma, s.demands()));
-      m_gan.add(evaluate(gan, s.demands()));
-      std::cout << "." << std::flush;
-    }
+          return RepResult{evaluate(oracle, s.demands()),
+                           evaluate(last, s.demands()),
+                           evaluate(arma, s.demands()),
+                           evaluate(gan, s.demands())};
+        },
+        [&](std::size_t, RepResult& r) {
+          m_oracle.add(r.oracle);
+          m_last.add(r.last);
+          m_arma.add(r.arma);
+          m_gan.add(r.gan);
+          std::cout << "." << std::flush;
+        });
     std::string label = fraction < 0.5 ? "small sample (15% of history)"
                                        : "large sample (90% of history)";
     t.add_row({label, common::fmt(m_oracle.mean(), 2), common::fmt(m_last.mean(), 2),

@@ -8,6 +8,7 @@
 #include "bench_util.h"
 #include "common/stats.h"
 #include "core/regret.h"
+#include "sim/replication.h"
 #include "sim/scenario.h"
 
 using namespace mecsc;
@@ -25,30 +26,40 @@ int main() {
   std::vector<common::RunningStats> regret_at(checkpoints.size());
   common::RunningStats sigma_stats;
 
-  for (std::size_t rep = 0; rep < topologies; ++rep) {
-    sim::ScenarioParams p;
-    p.num_stations = 50;
-    p.horizon = horizon;
-    p.workload.num_requests = 40;
-    p.track_regret = true;
-    p.seed = 6000 + rep;
-    sim::Scenario s(p);
-    algorithms::OlOptions opt;
-    opt.theta_prior = s.theta_prior();
-    opt.epsilon = core::EpsilonSchedule::decay(c);
-    opt.gamma = gamma;
-    auto algo = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
-                                       s.algorithm_seed(0));
-    sim::RunResult r = s.simulator().run(*algo);
-    for (std::size_t i = 0; i < checkpoints.size(); ++i) {
-      std::size_t t = std::min(checkpoints[i], r.cumulative_regret.size()) - 1;
-      regret_at[i].add(r.cumulative_regret[t]);
-    }
-    sigma_stats.add(core::theory::lemma1_sigma(
-        s.problem().num_requests(), s.d_max(), s.d_min(),
-        s.problem().instantiation_delay_spread(), gamma));
-    std::cout << "." << std::flush;
-  }
+  struct RepResult {
+    sim::RunResult run;
+    double sigma = 0.0;
+  };
+  sim::run_replications(
+      topologies,
+      [&](std::size_t rep) {
+        sim::ScenarioParams p;
+        p.num_stations = 50;
+        p.horizon = horizon;
+        p.workload.num_requests = 40;
+        p.track_regret = true;
+        p.seed = 6000 + rep;
+        sim::Scenario s(p);
+        algorithms::OlOptions opt;
+        opt.theta_prior = s.theta_prior();
+        opt.epsilon = core::EpsilonSchedule::decay(c);
+        opt.gamma = gamma;
+        auto algo = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
+                                           s.algorithm_seed(0));
+        return RepResult{s.simulator().run(*algo),
+                         core::theory::lemma1_sigma(
+                             s.problem().num_requests(), s.d_max(), s.d_min(),
+                             s.problem().instantiation_delay_spread(), gamma)};
+      },
+      [&](std::size_t, RepResult& r) {
+        for (std::size_t i = 0; i < checkpoints.size(); ++i) {
+          std::size_t t =
+              std::min(checkpoints[i], r.run.cumulative_regret.size()) - 1;
+          regret_at[i].add(r.run.cumulative_regret[t]);
+        }
+        sigma_stats.add(r.sigma);
+        std::cout << "." << std::flush;
+      });
   std::cout << "\n";
 
   double sigma = sigma_stats.mean();

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_set>
 
 #include "common/error.h"
 #include "core/lp_formulation.h"
@@ -82,7 +81,7 @@ core::Assignment OnlineCachingAlgorithm::decide(std::size_t t) {
   core::FractionalSolution frac;
   if (options_.use_exact_lp) {
     core::LpFormulation lp(*problem_, last_demands_, theta);
-    frac = lp.solve(lp::SimplexSolver());
+    frac = lp.solve(lp::SimplexSolver(), lp_workspace_);
   } else {
     frac = solver_.solve(last_demands_, theta);
   }
@@ -99,10 +98,13 @@ void OnlineCachingAlgorithm::observe(std::size_t t, const core::Assignment& deci
                                      const std::vector<double>& realized_unit_delays) {
   MECSC_CHECK(realized_unit_delays.size() == problem_->num_stations());
   // Bandit feedback (Algorithm 1 lines 10-11): only stations that served
-  // at least one request reveal their delay this slot.
-  std::unordered_set<std::size_t> played(decision.station_of_request.begin(),
-                                         decision.station_of_request.end());
-  for (std::size_t i : played) bandit_.observe(i, realized_unit_delays[i]);
+  // at least one request reveal their delay this slot. The reusable mask
+  // keeps this allocation-free on the per-slot path.
+  played_.assign(problem_->num_stations(), false);
+  for (std::size_t i : decision.station_of_request) played_[i] = true;
+  for (std::size_t i = 0; i < played_.size(); ++i) {
+    if (played_[i]) bandit_.observe(i, realized_unit_delays[i]);
+  }
   if (predictor_) predictor_->observe(t, true_demands);
 }
 

@@ -10,6 +10,7 @@
 #include "core/fractional_solver.h"
 #include "core/problem.h"
 #include "core/rounding.h"
+#include "lp/simplex.h"
 #include "predict/predictor.h"
 #include "workload/demand_model.h"
 
@@ -91,9 +92,13 @@ class OnlineCachingAlgorithm final : public CachingAlgorithm {
   std::unique_ptr<predict::DemandPredictor> predictor_;  // may be null
   OlOptions options_;
   core::FractionalSolver solver_;
+  // Reused across slots by the exact-LP path: per-slot models share one
+  // shape, so the simplex warm-starts from the previous slot's basis.
+  lp::SimplexWorkspace lp_workspace_;
   core::BanditState bandit_;
   common::Rng rng_;
   std::vector<double> last_demands_;
+  std::vector<bool> played_;  // scratch station mask for observe()
 };
 
 /// Factories matching the paper's algorithm names.

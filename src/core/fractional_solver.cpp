@@ -5,9 +5,18 @@
 #include <limits>
 
 #include "common/error.h"
-#include "flow/min_cost_flow.h"
 
 namespace mecsc::core {
+
+namespace {
+
+/// Re-pricing rounds of the facility-location amortization (see solve).
+constexpr std::size_t kRounds = 3;
+/// Tolerance of the full-arc-set reduced-cost optimality certificate
+/// (per-unit costs are O(1) after the /res normalisation).
+constexpr double kDualTol = 1e-7;
+
+}  // namespace
 
 FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
                                            const std::vector<double>& theta) const {
@@ -18,14 +27,153 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
   MECSC_CHECK_MSG(demands.size() == nr, "demand vector size mismatch");
   MECSC_CHECK_MSG(theta.size() == ns, "theta vector size mismatch");
 
-  // Expected resource demand per service (initial amortization base).
-  std::vector<double> service_demand_mhz(nk, 0.0);
+  Scratch& s = s_;
+
+  // Expected resource demand per request and per service (initial
+  // amortization base).
+  s.res.resize(nr);
+  s.service_demand.assign(nk, 0.0);
   double total_flow = 0.0;
   for (std::size_t l = 0; l < nr; ++l) {
     double res = p.resource_demand_mhz(demands[l]);
-    service_demand_mhz[p.requests()[l].service_id] += res;
+    s.res[l] = res;
+    s.service_demand[p.requests()[l].service_id] += res;
     total_flow += res;
   }
+
+  // Round-invariant part of the (l, i) serving cost; the per-round
+  // amortized instantiation price is added on top.
+  s.base_cost.resize(nr * ns);
+  for (std::size_t l = 0; l < nr; ++l) {
+    const double dl = demands[l];
+    const double txl = p.tx_unit_ms(l);
+    double* row = &s.base_cost[l * ns];
+    for (std::size_t i = 0; i < ns; ++i) {
+      row[i] = dl * (theta[i] + txl) + p.access_latency_ms(l, i);
+    }
+  }
+
+  // inst_base[k][i]: demand base used to amortize d_ins[i][k].
+  s.inst_base.resize(nk * ns);
+  for (std::size_t k = 0; k < nk; ++k) {
+    std::fill_n(&s.inst_base[k * ns], ns, s.service_demand[k]);
+  }
+
+  // Per-unit cost of the (l, i) arc under the current amortization base.
+  auto arc_cost = [&](std::size_t l, std::size_t i) {
+    std::size_t k = p.requests()[l].service_id;
+    double res = s.res[l];
+    double base = std::max(s.inst_base[k * ns + i], res);
+    double amortized = p.instantiation_delay_ms(i, k) * res / base;
+    return (s.base_cost[l * ns + i] + amortized) / res;
+  };
+
+  // --- Working-set construction -------------------------------------
+  // Each request keeps arcs to its `width` most attractive stations plus
+  // whatever stations served it on the previous solve; the optimality
+  // certificate below adds anything this misses. Attractiveness is
+  // cost MINUS the station's previous dual price: at a transportation
+  // optimum the basic arcs of request l minimise c_li - price_i, so
+  // ranking by that key (with last solve's prices as the congestion
+  // estimate) lands the initial set on the likely optimal support
+  // instead of piling every request onto the same few cheap-but-
+  // saturated stations.
+  s.work.resize(nr);
+  s.work_edge.resize(nr);
+  s.warm.resize(nr);
+  s.in_work.assign(nr * ns, 0);
+  s.station_price.resize(ns, 0.0);
+
+  auto grow_request = [&](std::size_t l, std::size_t target) {
+    auto& w = s.work[l];
+    if (w.size() >= target) return;
+    s.cand.clear();
+    const char* mask = &s.in_work[l * ns];
+    for (std::size_t i = 0; i < ns; ++i) {
+      if (!mask[i]) {
+        s.cand.emplace_back(arc_cost(l, i) - s.station_price[i],
+                            static_cast<std::uint32_t>(i));
+      }
+    }
+    std::size_t need = std::min(target, ns) - w.size();
+    need = std::min(need, s.cand.size());
+    std::partial_sort(s.cand.begin(), s.cand.begin() + need, s.cand.end());
+    for (std::size_t j = 0; j < need; ++j) {
+      std::uint32_t i = s.cand[j].second;
+      w.push_back(i);
+      s.in_work[l * ns + i] = 1;
+    }
+  };
+
+  std::size_t width = std::min(ns, std::max<std::size_t>(12, ns / 8));
+  for (std::size_t l = 0; l < nr; ++l) {
+    s.work[l].clear();
+    if (s.res[l] <= 0.0) continue;
+    // Warm arcs first (they carried flow last slot, so they are likely
+    // basic again), then fill to `width` with the cheapest stations.
+    for (std::uint32_t i : s.warm[l]) {
+      if (!s.in_work[l * ns + i]) {
+        s.work[l].push_back(i);
+        s.in_work[l * ns + i] = 1;
+      }
+    }
+    grow_request(l, width);
+  }
+
+  auto expand_width = [&](std::size_t target) {
+    for (std::size_t l = 0; l < nr; ++l) {
+      if (s.res[l] > 0.0) grow_request(l, target);
+    }
+  };
+
+  // Cheap necessary condition: the union of working stations must have
+  // enough capacity for the aggregate demand, else a shortfall solve is
+  // guaranteed.
+  auto union_capacity = [&]() {
+    double cap = 0.0;
+    for (std::size_t i = 0; i < ns; ++i) {
+      for (std::size_t l = 0; l < nr; ++l) {
+        if (s.in_work[l * ns + i]) {
+          cap += p.topology().station(i).capacity_mhz;
+          break;
+        }
+      }
+    }
+    return cap;
+  };
+  while (width < ns && union_capacity() < 1.05 * total_flow) {
+    width = std::min(ns, width * 2);
+    expand_width(width);
+  }
+
+  // --- Flow network --------------------------------------------------
+  // Node layout: 0 = source, 1..nr = requests, nr+1..nr+ns = stations,
+  // nr+ns+1 = sink.
+  const std::size_t src = 0;
+  const std::size_t sink = nr + ns + 1;
+  if (s.mcf.num_nodes() != nr + ns + 2) s.mcf = flow::MinCostFlow(nr + ns + 2);
+
+  s.sink_edge.resize(ns);
+  auto rebuild_graph = [&]() {
+    s.mcf.clear_edges();
+    for (std::size_t l = 0; l < nr; ++l) {
+      if (s.res[l] <= 0.0) continue;  // handled after the flow solve
+      s.mcf.add_edge(src, 1 + l, s.res[l], 0.0);
+      auto& w = s.work[l];
+      auto& e = s.work_edge[l];
+      e.resize(w.size());
+      for (std::size_t j = 0; j < w.size(); ++j) {
+        e[j] = s.mcf.add_edge(1 + l, 1 + nr + w[j], s.res[l], arc_cost(l, w[j]));
+      }
+    }
+    for (std::size_t i = 0; i < ns; ++i) {
+      s.sink_edge[i] =
+          s.mcf.add_edge(1 + nr + i, sink, p.topology().station(i).capacity_mhz, 0.0);
+    }
+  };
+
+  double best_objective = std::numeric_limits<double>::infinity();
+  bool have_best = false;
 
   // Successive approximation of the facility-location term: solve the
   // transportation LP with instantiation delay amortized per unit of
@@ -34,71 +182,112 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
   // opening price next round), and keep the best solution under the true
   // Eq. 3 objective. Three rounds close most of the gap to the exact LP
   // (see tests/test_core.cpp and bench_lp_vs_flow).
-  constexpr std::size_t kRounds = 3;
-  // inst_base[k][i]: demand base used to amortize d_ins[i][k].
-  std::vector<std::vector<double>> inst_base(nk, std::vector<double>(ns, 0.0));
-  for (std::size_t k = 0; k < nk; ++k) {
-    for (std::size_t i = 0; i < ns; ++i) inst_base[k][i] = service_demand_mhz[k];
-  }
-
-  // Full bipartite arc set. (Pruning each request to its cheapest
-  // stations was tried and abandoned: under realistic congestion the
-  // cheap stations saturate and demand must spill to arbitrary ones, so
-  // a pruned network regularly fails to route; the dense-Dijkstra flow
-  // solver makes the full graph fast enough.)
-  std::vector<std::vector<std::size_t>> allowed(nr);
-  for (std::size_t l = 0; l < nr; ++l) {
-    allowed[l].resize(ns);
-    for (std::size_t i = 0; i < ns; ++i) allowed[l][i] = i;
-  }
-
-  FractionalSolution best;
-  double best_objective = std::numeric_limits<double>::infinity();
-
+  bool graph_dirty = true;
   for (std::size_t round = 0; round < kRounds; ++round) {
-    // Node layout: 0 = source, 1..nr = requests, nr+1..nr+ns = stations,
-    // nr+ns+1 = sink.
-    const std::size_t src = 0;
-    const std::size_t sink = nr + ns + 1;
-    flow::MinCostFlow mcf(nr + ns + 2);
-
-    // arc_id[l] maps positions in allowed[l] to edge ids.
-    std::vector<std::vector<std::size_t>> arc_id(nr);
-    for (std::size_t l = 0; l < nr; ++l) {
-      double res = p.resource_demand_mhz(demands[l]);
-      if (res <= 0.0) continue;  // handled after the flow solve
-      mcf.add_edge(src, 1 + l, res, 0.0);
-      arc_id[l].resize(allowed[l].size());
-      std::size_t k = p.requests()[l].service_id;
-      for (std::size_t j = 0; j < allowed[l].size(); ++j) {
-        std::size_t i = allowed[l][j];
-        // Amortize over whichever is larger: the base from the previous
-        // round or this request alone (never price below "I open the
-        // instance just for me").
-        double base = std::max(inst_base[k][i], res);
-        double amortized = p.instantiation_delay_ms(i, k) * res / base;
-        double total_cost =
-            demands[l] * (theta[i] + p.tx_unit_ms(l)) + p.access_latency_ms(l, i) +
-            amortized;
-        arc_id[l][j] = mcf.add_edge(1 + l, 1 + nr + i, res, total_cost / res);
+    if (!graph_dirty) {
+      // Same arc set, new amortization: update costs in place and rewind
+      // the residual capacities — no allocation, no graph rebuild.
+      for (std::size_t l = 0; l < nr; ++l) {
+        if (s.res[l] <= 0.0) continue;
+        auto& w = s.work[l];
+        for (std::size_t j = 0; j < w.size(); ++j) {
+          s.mcf.set_cost(s.work_edge[l][j], arc_cost(l, w[j]));
+        }
       }
-    }
-    for (std::size_t i = 0; i < ns; ++i) {
-      mcf.add_edge(1 + nr + i, sink, p.topology().station(i).capacity_mhz, 0.0);
+      s.mcf.reset();
     }
 
-    flow::FlowResult fr = mcf.solve(src, sink, total_flow);
-    if (fr.flow < total_flow - 1e-6 * std::max(1.0, total_flow)) {
-      throw common::Infeasible(
-          "flow solver could not route all demand: capacity short");
+    // Solve-and-certify: route on the working set, then verify the
+    // result against every pruned-out arc with the final duals and add
+    // what the pruning missed. Intermediate rounds skip the certificate:
+    // their only job is to compute the next amortization base (a
+    // heuristic re-pricing), so the working-set optimum is good enough
+    // there; the last round — whose arc set contains everything earlier
+    // rounds routed on — is certified, so the solution the caller
+    // receives is exactly the full-network optimum for its cost vector.
+    const bool certify = round + 1 == kRounds;
+    for (;;) {
+      if (graph_dirty) {
+        rebuild_graph();
+        graph_dirty = false;
+      }
+      flow::FlowResult fr = s.mcf.solve(src, sink, total_flow);
+      if (fr.flow < total_flow - 1e-6 * std::max(1.0, total_flow)) {
+        if (width >= ns) {
+          throw common::Infeasible(
+              "flow solver could not route all demand: capacity short");
+        }
+        width = std::min(ns, width * 2);
+        expand_width(width);
+        graph_dirty = true;
+        continue;
+      }
+      // Certificate duals (also persisted as the congestion estimate for
+      // the next solve's working-set ranking). A station with no inbound
+      // flow is often unreachable in the residual network, where the
+      // truncated-Dijkstra update inflates its raw potential by
+      // dist(sink) per pass; its only binding dual constraint is the
+      // residual station→sink arc (price >= pot(sink)), so pot(sink) is
+      // the tightest feasible price and avoids a storm of spurious
+      // violations.
+      const double psink = s.mcf.potential(sink);
+      for (std::size_t i = 0; i < ns; ++i) {
+        s.station_price[i] = s.mcf.edge_flow(s.sink_edge[i]) > 1e-12
+                                 ? s.mcf.potential(1 + nr + i)
+                                 : psink;
+      }
+      if (!certify) break;
+      // Scan pruned arcs for negative reduced cost. Only the two most
+      // violated arcs per request are added per iteration: the optimal
+      // support is sparse (a transportation basis has ~2 arcs per
+      // request), so adding every violated arc would balloon the working
+      // set and make each subsequent Dijkstra pass pay for arcs that will
+      // never carry flow.
+      s.violations.clear();
+      for (std::size_t l = 0; l < nr; ++l) {
+        if (s.res[l] <= 0.0) continue;
+        const double pl = s.mcf.potential(1 + l);
+        const char* mask = &s.in_work[l * ns];
+        double rc1 = -kDualTol, rc2 = -kDualTol;  // two smallest reduced costs
+        std::uint32_t i1 = ns, i2 = ns;
+        for (std::size_t i = 0; i < ns; ++i) {
+          if (mask[i]) continue;
+          double rc = arc_cost(l, i) + pl - s.station_price[i];
+          if (rc < rc2) {
+            if (rc < rc1) {
+              rc2 = rc1;
+              i2 = i1;
+              rc1 = rc;
+              i1 = static_cast<std::uint32_t>(i);
+            } else {
+              rc2 = rc;
+              i2 = static_cast<std::uint32_t>(i);
+            }
+          }
+        }
+        if (i1 < ns) {
+          s.violations.emplace_back(static_cast<std::uint32_t>(l), i1);
+        }
+        if (i2 < ns) {
+          s.violations.emplace_back(static_cast<std::uint32_t>(l), i2);
+        }
+      }
+      if (s.violations.empty()) break;
+      for (auto [l, i] : s.violations) {
+        s.work[l].push_back(i);
+        s.in_work[l * ns + i] = 1;
+      }
+      graph_dirty = true;
     }
 
-    FractionalSolution sol;
-    sol.x.assign(nr, std::vector<double>(ns, 0.0));
-    sol.y.assign(nk, std::vector<double>(ns, 0.0));
+    // Extract x / y and re-price from realised per-instance demand.
+    s.x.assign(nr * ns, 0.0);
+    s.y.assign(nk * ns, 0.0);
+    s.attracted.assign(nk * ns, 0.0);
+    double xcost = 0.0;  // sum over x of the true (non-amortized) cost
     for (std::size_t l = 0; l < nr; ++l) {
-      double res = p.resource_demand_mhz(demands[l]);
-      if (res <= 0.0) {
+      std::size_t k = p.requests()[l].service_id;
+      if (s.res[l] <= 0.0) {
         // Zero-demand request: pin to its cheapest station (no capacity
         // use, no instantiation pressure).
         std::size_t best_i = 0;
@@ -110,37 +299,67 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
             best_i = i;
           }
         }
-        sol.x[l][best_i] = 1.0;
+        s.x[l * ns + best_i] = 1.0;
+        s.y[k * ns + best_i] = std::max(s.y[k * ns + best_i], 1.0);
+        xcost += s.base_cost[l * ns + best_i];
         continue;
       }
-      for (std::size_t j = 0; j < allowed[l].size(); ++j) {
-        sol.x[l][allowed[l][j]] =
-            std::clamp(mcf.edge_flow(arc_id[l][j]) / res, 0.0, 1.0);
+      auto& w = s.work[l];
+      for (std::size_t j = 0; j < w.size(); ++j) {
+        double xli =
+            std::clamp(s.mcf.edge_flow(s.work_edge[l][j]) / s.res[l], 0.0, 1.0);
+        if (xli <= 0.0) continue;
+        std::size_t i = w[j];
+        s.x[l * ns + i] = xli;
+        s.y[k * ns + i] = std::max(s.y[k * ns + i], xli);
+        s.attracted[k * ns + i] += xli * s.res[l];
+        xcost += xli * s.base_cost[l * ns + i];
       }
     }
-    // Re-price from realised per-instance demand for the next round.
-    std::vector<std::vector<double>> attracted(nk, std::vector<double>(ns, 0.0));
-    for (std::size_t l = 0; l < nr; ++l) {
-      std::size_t k = p.requests()[l].service_id;
-      double res = p.resource_demand_mhz(demands[l]);
+    double ycost = 0.0;
+    for (std::size_t k = 0; k < nk; ++k) {
       for (std::size_t i = 0; i < ns; ++i) {
-        if (sol.x[l][i] <= 0.0) continue;
-        sol.y[k][i] = std::max(sol.y[k][i], sol.x[l][i]);
-        attracted[k][i] += sol.x[l][i] * res;
+        double yki = s.y[k * ns + i];
+        if (yki > 0.0) ycost += yki * p.instantiation_delay_ms(i, k);
       }
     }
-    sol.objective = objective(sol, demands, theta);
-    bool improved = best.x.empty() ||
-                    sol.objective < best_objective - 1e-9 * (1.0 + sol.objective);
+    double objective = (xcost + ycost) / static_cast<double>(nr);
+
+    bool improved =
+        !have_best || objective < best_objective - 1e-9 * (1.0 + objective);
     if (improved) {
-      best_objective = sol.objective;
-      best = sol;
+      best_objective = objective;
+      s.x_best = s.x;
+      s.y_best = s.y;
+      have_best = true;
     } else if (round > 0) {
       break;  // re-pricing converged (or started oscillating): stop early
     }
-    inst_base = std::move(attracted);
+    std::swap(s.inst_base, s.attracted);
   }
-  return best;
+
+  // Remember which stations carried each request's flow — next solve's
+  // warm arcs (demands and θ drift slowly between slots, so the same
+  // arcs tend to be basic again).
+  for (std::size_t l = 0; l < nr; ++l) {
+    s.warm[l].clear();
+    const double* row = &s.x_best[l * ns];
+    for (std::size_t i = 0; i < ns; ++i) {
+      if (row[i] > 1e-12) s.warm[l].push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+
+  FractionalSolution out;
+  out.objective = best_objective;
+  out.x.assign(nr, std::vector<double>(ns));
+  for (std::size_t l = 0; l < nr; ++l) {
+    std::copy_n(&s.x_best[l * ns], ns, out.x[l].begin());
+  }
+  out.y.assign(nk, std::vector<double>(ns));
+  for (std::size_t k = 0; k < nk; ++k) {
+    std::copy_n(&s.y_best[k * ns], ns, out.y[k].begin());
+  }
+  return out;
 }
 
 double FractionalSolver::objective(const FractionalSolution& sol,

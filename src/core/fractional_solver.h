@@ -1,9 +1,11 @@
 #ifndef MECSC_CORE_FRACTIONAL_SOLVER_H
 #define MECSC_CORE_FRACTIONAL_SOLVER_H
 
+#include <cstdint>
 #include <vector>
 
 #include "core/problem.h"
+#include "flow/min_cost_flow.h"
 
 namespace mecsc::core {
 
@@ -26,6 +28,25 @@ namespace mecsc::core {
 /// is scored. The `bench_lp_vs_flow` ablation and tests/test_core.cpp
 /// quantify the gap against the exact simplex path (small: instantiation
 /// delays are second-order versus ρ·θ).
+///
+/// Performance (DESIGN.md "Performance"): instead of the dense |R|×|BS|
+/// bipartite graph, each solve runs on a pruned *working set* of arcs —
+/// the k cheapest stations per request plus the stations that carried
+/// the request's flow on the previous solve — and then certifies the
+/// result against the full arc set with the flow solver's final dual
+/// potentials (reduced cost >= 0 for every pruned-out arc). Violated
+/// arcs are added and the network re-solved, so the answer is exactly
+/// the full-network optimum; the working set merely shrinks each
+/// Dijkstra pass by roughly |BS|/k. All scratch memory (the flow
+/// network, cost matrices, working sets) is owned by the solver and
+/// reused across solves, so steady-state per-slot solves allocate
+/// nothing.
+///
+/// Thread safety: the reusable scratch state makes concurrent solve()
+/// calls on one instance a data race. Give each worker its own solver
+/// (they are cheap); `sim::ParallelReplicationRunner` replications each
+/// construct their own algorithm instances and therefore their own
+/// solvers.
 class FractionalSolver {
  public:
   explicit FractionalSolver(const CachingProblem& problem) : problem_(&problem) {}
@@ -42,7 +63,30 @@ class FractionalSolver {
                    const std::vector<double>& theta) const;
 
  private:
+  /// Reusable buffers; sized on first solve, reused afterwards.
+  struct Scratch {
+    flow::MinCostFlow mcf{0};
+    std::vector<double> res;             // per request, resource demand (MHz)
+    std::vector<double> service_demand;  // per service, expected demand
+    std::vector<double> base_cost;       // nr×ns, cost minus amortized part
+    std::vector<double> inst_base;       // nk×ns amortization base
+    std::vector<double> attracted;       // nk×ns realised per-instance demand
+    std::vector<double> x;               // nr×ns current round
+    std::vector<double> y;               // nk×ns current round
+    std::vector<double> x_best;          // nr×ns best round so far
+    std::vector<double> y_best;          // nk×ns
+    std::vector<std::vector<std::uint32_t>> work;       // station ids per request
+    std::vector<std::vector<std::size_t>> work_edge;    // edge id per working arc
+    std::vector<std::size_t> sink_edge;  // per station, edge id of station→sink
+    std::vector<double> station_price;   // per station, certificate dual
+    std::vector<char> in_work;           // nr×ns membership mask
+    std::vector<std::pair<double, std::uint32_t>> cand;  // sort buffer
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> violations;
+    std::vector<std::vector<std::uint32_t>> warm;  // previous solve's flow arcs
+  };
+
   const CachingProblem* problem_;
+  mutable Scratch s_;
 };
 
 }  // namespace mecsc::core

@@ -82,7 +82,13 @@ std::size_t LpFormulation::y_var(std::size_t service, std::size_t station) const
 }
 
 FractionalSolution LpFormulation::solve(const lp::SimplexSolver& solver) const {
-  lp::Solution sol = solver.solve(model_);
+  lp::SimplexWorkspace workspace;
+  return solve(solver, workspace);
+}
+
+FractionalSolution LpFormulation::solve(const lp::SimplexSolver& solver,
+                                        lp::SimplexWorkspace& workspace) const {
+  lp::Solution sol = solver.solve(model_, workspace);
   if (sol.status == lp::SolveStatus::kInfeasible) {
     throw common::Infeasible("per-slot caching LP is infeasible");
   }

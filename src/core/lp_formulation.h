@@ -30,6 +30,11 @@ class LpFormulation {
   /// feasible point and NumericalError on iteration limit.
   FractionalSolution solve(const lp::SimplexSolver& solver) const;
 
+  /// Same, but reuses (and warm-starts from) the caller's workspace —
+  /// the zero-allocation path for per-slot solves of same-sized models.
+  FractionalSolution solve(const lp::SimplexSolver& solver,
+                           lp::SimplexWorkspace& workspace) const;
+
  private:
   const CachingProblem& problem_;
   std::size_t num_requests_;

@@ -14,67 +14,123 @@ constexpr double kEps = 1e-9;
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
-MinCostFlow::MinCostFlow(std::size_t num_nodes) : graph_(num_nodes) {}
+MinCostFlow::MinCostFlow(std::size_t num_nodes) : num_nodes_(num_nodes) {}
 
 std::size_t MinCostFlow::add_edge(std::size_t from, std::size_t to,
                                   double capacity, double cost) {
-  MECSC_CHECK_MSG(from < graph_.size() && to < graph_.size(),
+  MECSC_CHECK_MSG(from < num_nodes_ && to < num_nodes_,
                   "edge endpoint out of range");
   MECSC_CHECK_MSG(capacity >= 0.0, "negative capacity");
   MECSC_CHECK_MSG(cost >= 0.0, "negative cost (Dijkstra requires cost >= 0)");
   std::size_t id = initial_capacity_.size();
-  graph_[from].push_back(edges_.size());
-  edges_.push_back(Edge{to, edges_.size() + 1, capacity, cost});
-  graph_[to].push_back(edges_.size());
-  edges_.push_back(Edge{from, edges_.size() - 1, 0.0, -cost});
+  arc_from_.push_back(static_cast<std::uint32_t>(from));
+  arc_to_.push_back(static_cast<std::uint32_t>(to));
+  arc_cap_.push_back(capacity);
+  arc_cost_.push_back(cost);
+  arc_from_.push_back(static_cast<std::uint32_t>(to));
+  arc_to_.push_back(static_cast<std::uint32_t>(from));
+  arc_cap_.push_back(0.0);
+  arc_cost_.push_back(-cost);
   initial_capacity_.push_back(capacity);
+  adjacency_dirty_ = true;
   return id;
+}
+
+void MinCostFlow::set_cost(std::size_t edge_id, double cost) {
+  MECSC_CHECK(edge_id < initial_capacity_.size());
+  MECSC_CHECK_MSG(cost >= 0.0, "negative cost (Dijkstra requires cost >= 0)");
+  arc_cost_[2 * edge_id] = cost;
+  arc_cost_[2 * edge_id + 1] = -cost;
+}
+
+void MinCostFlow::reset() {
+  for (std::size_t id = 0; id < initial_capacity_.size(); ++id) {
+    arc_cap_[2 * id] = initial_capacity_[id];
+    arc_cap_[2 * id + 1] = 0.0;
+  }
+}
+
+void MinCostFlow::build_adjacency() {
+  const std::size_t n = num_nodes_;
+  adj_head_.assign(n + 1, 0);
+  for (std::uint32_t from : arc_from_) ++adj_head_[from + 1];
+  for (std::size_t v = 0; v < n; ++v) adj_head_[v + 1] += adj_head_[v];
+  adj_arc_.resize(arc_from_.size());
+  std::vector<std::uint32_t> fill(adj_head_.begin(), adj_head_.end() - 1);
+  for (std::size_t a = 0; a < arc_from_.size(); ++a) {
+    adj_arc_[fill[arc_from_[a]]++] = static_cast<std::uint32_t>(a);
+  }
+  adjacency_dirty_ = false;
 }
 
 FlowResult MinCostFlow::solve(std::size_t source, std::size_t sink,
                               double max_flow) {
-  MECSC_CHECK(source < graph_.size() && sink < graph_.size());
+  MECSC_CHECK(source < num_nodes_ && sink < num_nodes_);
   MECSC_CHECK(source != sink);
+  if (adjacency_dirty_) build_adjacency();
 
-  const std::size_t n = graph_.size();
+  const std::size_t n = num_nodes_;
   potential_.assign(n, 0.0);
-  std::vector<double> dist(n);
-  std::vector<std::size_t> prev_edge(n);
-  std::vector<bool> done(n);
+  dist_.resize(n);
+  prev_arc_.resize(n);
+  done_.resize(n);
+  frontier_.clear();
 
   FlowResult result;
   double remaining = max_flow;
 
   // Small node counts (the caching reduction has |R| + |BS| + 2 nodes)
-  // favour a dense O(V² + E) Dijkstra over a binary heap; the heap path
-  // remains for genuinely sparse/large graphs.
+  // favour scanning a compact frontier of discovered nodes over a binary
+  // heap; the heap path remains for genuinely sparse/large graphs.
   const bool dense = n <= kDenseThreshold;
+
+  const double* cap = arc_cap_.data();
+  const double* cost = arc_cost_.data();
+  const std::uint32_t* to = arc_to_.data();
+  const double* pot = potential_.data();
+  double* dist = dist_.data();
 
   while (remaining > kEps) {
     // Dijkstra on reduced costs cost + pot[u] - pot[v] (non-negative).
-    std::fill(dist.begin(), dist.end(), kInf);
-    std::fill(done.begin(), done.end(), false);
+    std::fill(dist_.begin(), dist_.end(), kInf);
+    std::fill(done_.begin(), done_.end(), 0);
     dist[source] = 0.0;
+    bool sink_settled = false;
     if (dense) {
-      for (;;) {
-        std::size_t u = n;
-        double best = kInf;
-        for (std::size_t v = 0; v < n; ++v) {
-          if (!done[v] && dist[v] < best) {
-            best = dist[v];
-            u = v;
+      // Frontier scan: only nodes already discovered (finite dist) are
+      // candidates, kept in a compact swap-remove array.
+      frontier_.clear();
+      frontier_.push_back(static_cast<std::uint32_t>(source));
+      while (!frontier_.empty()) {
+        std::size_t best_at = 0;
+        double best = dist[frontier_[0]];
+        for (std::size_t s = 1; s < frontier_.size(); ++s) {
+          double d = dist[frontier_[s]];
+          if (d < best) {
+            best = d;
+            best_at = s;
           }
         }
-        if (u == n) break;
-        done[u] = true;
-        if (u == sink) break;  // settled: shorter paths impossible
-        for (std::size_t ei : graph_[u]) {
-          const Edge& e = edges_[ei];
-          if (e.capacity <= kEps || done[e.to]) continue;
-          double nd = best + e.cost + potential_[u] - potential_[e.to];
-          if (nd < dist[e.to] - kEps) {
-            dist[e.to] = nd;
-            prev_edge[e.to] = ei;
+        std::uint32_t u = frontier_[best_at];
+        frontier_[best_at] = frontier_.back();
+        frontier_.pop_back();
+        done_[u] = 1;
+        if (u == sink) {  // settled: shorter paths impossible
+          sink_settled = true;
+          break;
+        }
+        double base = best + pot[u];
+        for (std::uint32_t at = adj_head_[u], end = adj_head_[u + 1]; at < end;
+             ++at) {
+          std::uint32_t a = adj_arc_[at];
+          if (cap[a] <= kEps) continue;
+          std::uint32_t v = to[a];
+          if (done_[v]) continue;
+          double nd = base + cost[a] - pot[v];
+          if (nd < dist[v] - kEps) {
+            if (dist[v] == kInf) frontier_.push_back(v);
+            dist[v] = nd;
+            prev_arc_[v] = a;
           }
         }
       }
@@ -85,28 +141,36 @@ FlowResult MinCostFlow::solve(std::size_t source, std::size_t sink,
       while (!pq.empty()) {
         auto [d, u] = pq.top();
         pq.pop();
-        if (done[u]) continue;
-        done[u] = true;
-        if (u == sink) break;
-        for (std::size_t ei : graph_[u]) {
-          const Edge& e = edges_[ei];
-          if (e.capacity <= kEps || done[e.to]) continue;
-          double nd = d + e.cost + potential_[u] - potential_[e.to];
-          if (nd < dist[e.to] - kEps) {
-            dist[e.to] = nd;
-            prev_edge[e.to] = ei;
-            pq.emplace(nd, e.to);
+        if (done_[u]) continue;
+        done_[u] = 1;
+        if (u == sink) {
+          sink_settled = true;
+          break;
+        }
+        double base = d + pot[u];
+        for (std::uint32_t at = adj_head_[u], end = adj_head_[u + 1]; at < end;
+             ++at) {
+          std::uint32_t a = adj_arc_[at];
+          if (cap[a] <= kEps) continue;
+          std::uint32_t v = to[a];
+          if (done_[v]) continue;
+          double nd = base + cost[a] - pot[v];
+          if (nd < dist[v] - kEps) {
+            dist[v] = nd;
+            prev_arc_[v] = a;
+            pq.emplace(nd, v);
           }
         }
       }
     }
-    if (!done[sink]) break;  // no augmenting path: network saturated
+    if (!sink_settled) break;  // no augmenting path: network saturated
 
     // Truncated-Dijkstra potential update (Johnson): nodes not settled
     // before the sink get the sink's distance, which keeps all reduced
     // costs non-negative.
+    double dsink = dist[sink];
     for (std::size_t v = 0; v < n; ++v) {
-      potential_[v] += std::min(dist[v], dist[sink]);
+      potential_[v] += std::min(dist[v], dsink);
     }
 
     // Single-path augmentation along the sink's shortest-path tree
@@ -116,16 +180,16 @@ FlowResult MinCostFlow::solve(std::size_t source, std::size_t sink,
     // work. With the early sink exit above, each phase is cheap.)
     double push = remaining;
     for (std::size_t v = sink; v != source;) {
-      const Edge& e = edges_[prev_edge[v]];
-      push = std::min(push, e.capacity);
-      v = edges_[e.rev].to;
+      std::uint32_t a = prev_arc_[v];
+      push = std::min(push, arc_cap_[a]);
+      v = arc_to_[a ^ 1u];
     }
     if (push <= kEps) break;  // numerical stall: treat as saturated
     for (std::size_t v = sink; v != source;) {
-      Edge& e = edges_[prev_edge[v]];
-      e.capacity -= push;
-      edges_[e.rev].capacity += push;
-      v = edges_[e.rev].to;
+      std::uint32_t a = prev_arc_[v];
+      arc_cap_[a] -= push;
+      arc_cap_[a ^ 1u] += push;
+      v = arc_to_[a ^ 1u];
     }
     result.flow += push;
     ++result.augmentations;
@@ -133,17 +197,30 @@ FlowResult MinCostFlow::solve(std::size_t source, std::size_t sink,
   }
   // Exact cost from final edge flows.
   for (std::size_t id = 0; id < initial_capacity_.size(); ++id) {
-    result.cost += edge_flow(id) * edges_[2 * id].cost;
+    result.cost += edge_flow(id) * arc_cost_[2 * id];
   }
   return result;
 }
 
 double MinCostFlow::edge_flow(std::size_t edge_id) const {
   MECSC_CHECK(edge_id < initial_capacity_.size());
-  // Forward edge 2*id has residual capacity = initial - flow.
-  const Edge& fwd = edges_[2 * edge_id];
-  double f = initial_capacity_[edge_id] - fwd.capacity;
+  // Forward arc 2*id has residual capacity = initial - flow.
+  double f = initial_capacity_[edge_id] - arc_cap_[2 * edge_id];
   return f < 0.0 ? 0.0 : f;
+}
+
+double MinCostFlow::potential(std::size_t node) const {
+  MECSC_CHECK(node < potential_.size());
+  return potential_[node];
+}
+
+void MinCostFlow::clear_edges() {
+  arc_to_.clear();
+  arc_from_.clear();
+  arc_cap_.clear();
+  arc_cost_.clear();
+  initial_capacity_.clear();
+  adjacency_dirty_ = true;
 }
 
 }  // namespace mecsc::flow

@@ -2,6 +2,7 @@
 #define MECSC_FLOW_MIN_COST_FLOW_H
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace mecsc::flow {
@@ -22,6 +23,13 @@ struct FlowResult {
 /// With non-negative arc costs every shortest-path pass is Dijkstra, so
 /// the solver is O(F · E log V) where F is the number of augmenting
 /// passes (≤ number of distinct saturation events for real capacities).
+///
+/// Storage is flat and cache-friendly: arcs live in parallel
+/// struct-of-arrays buffers (forward arc 2·id, its reverse partner
+/// 2·id+1) behind a CSR adjacency index, and every Dijkstra scratch
+/// vector is a reusable member — a `reset()` + `solve()` cycle performs
+/// no allocations, which is what lets `core::FractionalSolver` re-price
+/// and re-solve the same network several times per slot for free.
 class MinCostFlow {
  public:
   explicit MinCostFlow(std::size_t num_nodes);
@@ -32,35 +40,69 @@ class MinCostFlow {
   std::size_t add_edge(std::size_t from, std::size_t to, double capacity,
                        double cost);
 
-  std::size_t num_nodes() const noexcept { return graph_.size(); }
-  std::size_t num_edges() const noexcept { return edges_.size() / 2; }
+  /// Replaces the cost of an existing edge (capacity and endpoints are
+  /// kept). Only valid between solves (together with `reset`).
+  void set_cost(std::size_t edge_id, double cost);
+
+  /// Restores every edge's residual capacity to its initial value so the
+  /// network can be solved again (typically after `set_cost` updates).
+  void reset();
+
+  std::size_t num_nodes() const noexcept { return num_nodes_; }
+  std::size_t num_edges() const noexcept { return arc_to_.size() / 2; }
 
   /// Sends up to `max_flow` units from `source` to `sink` at minimum
-  /// cost. May be called once per instance. Returns the flow actually
-  /// shipped (less than `max_flow` if the network saturates) and its
-  /// cost.
+  /// cost. Returns the flow actually shipped (less than `max_flow` if
+  /// the network saturates) and its cost. May be called again after
+  /// `reset()`.
   FlowResult solve(std::size_t source, std::size_t sink, double max_flow);
 
   /// Flow on the edge returned by `add_edge` (valid after `solve`).
   double edge_flow(std::size_t edge_id) const;
 
+  /// Johnson potential of a node after `solve` — a feasible dual: every
+  /// residual arc (u, v) satisfies cost + potential(u) - potential(v)
+  /// >= 0 at termination. `core::FractionalSolver` uses these duals to
+  /// certify that a solution computed on a pruned arc set is optimal for
+  /// the full network.
+  double potential(std::size_t node) const;
+
+  /// Drops every edge (node count is kept) so a new network can be
+  /// built. Buffers keep their capacity, so rebuild-after-clear does not
+  /// reallocate.
+  void clear_edges();
+
   /// Node-count threshold below which each shortest-path pass uses a
-  /// dense O(V²+E) scan instead of a binary heap.
-  static constexpr std::size_t kDenseThreshold = 1500;
+  /// frontier-scan selection instead of a binary heap. The pruned
+  /// working-set graphs `core::FractionalSolver` builds have ~15 arcs
+  /// per node, where the heap wins from ~64 nodes up (measured on the
+  /// fig-3 workload); tiny unit-test graphs skip the heap overhead.
+  static constexpr std::size_t kDenseThreshold = 64;
 
  private:
-  struct Edge {
-    std::size_t to;
-    std::size_t rev;     // index of the reverse edge in edges_
-    double capacity;     // residual capacity
-    double cost;
-  };
+  void build_adjacency();
 
-  // Edges are stored in one array; graph_[v] holds indices into edges_.
-  std::vector<Edge> edges_;
-  std::vector<std::vector<std::size_t>> graph_;
+  std::size_t num_nodes_ = 0;
+
+  // Arc storage (struct-of-arrays): arc 2*id is the forward direction of
+  // edge `id`, arc 2*id+1 its residual reverse (cost negated).
+  std::vector<std::uint32_t> arc_to_;
+  std::vector<std::uint32_t> arc_from_;
+  std::vector<double> arc_cap_;
+  std::vector<double> arc_cost_;
   std::vector<double> initial_capacity_;  // per forward edge id
-  std::vector<double> potential_;         // Johnson potentials (during solve)
+
+  // CSR adjacency over arcs, rebuilt lazily when edges were added.
+  std::vector<std::uint32_t> adj_head_;  // num_nodes_+1 offsets
+  std::vector<std::uint32_t> adj_arc_;   // arc indices, grouped by tail
+  bool adjacency_dirty_ = true;
+
+  // Reusable per-solve scratch (sized on first solve, then reused).
+  std::vector<double> dist_;
+  std::vector<double> potential_;  // Johnson potentials
+  std::vector<std::uint32_t> prev_arc_;
+  std::vector<std::uint32_t> frontier_;  // discovered, not yet settled
+  std::vector<char> done_;
 };
 
 }  // namespace mecsc::flow

@@ -7,18 +7,21 @@
 namespace mecsc::lp {
 namespace {
 
-/// Dense tableau state shared by the two phases.
+/// Dense tableau views over the workspace's flat buffers.
 struct Tableau {
   std::size_t m = 0;           // constraint rows
   std::size_t cols = 0;        // total columns excluding rhs
+  std::size_t stride = 0;      // cols + 1 (rhs last in each row)
   std::size_t n_struct = 0;    // structural variables
   std::size_t first_artificial = 0;
-  std::vector<std::vector<double>> a;  // m rows, cols+1 entries (rhs last)
-  std::vector<double> obj;             // cols+1 entries (reduced costs, -z)
-  std::vector<std::size_t> basis;      // basic column per row
-  std::vector<bool> blocked;           // columns barred from entering
+  double* a = nullptr;         // m rows of `stride` entries
+  double* obj = nullptr;       // stride entries (reduced costs, -z)
+  std::size_t* basis = nullptr;  // basic column per row
+  char* blocked = nullptr;       // columns barred from entering
 
-  double rhs(std::size_t i) const { return a[i][cols]; }
+  double* row(std::size_t i) { return a + i * stride; }
+  const double* row(std::size_t i) const { return a + i * stride; }
+  double rhs(std::size_t i) const { return row(i)[cols]; }
 };
 
 bool is_artificial(const Tableau& t, std::size_t col) {
@@ -26,21 +29,22 @@ bool is_artificial(const Tableau& t, std::size_t col) {
 }
 
 void pivot(Tableau& t, std::size_t row, std::size_t col, double eps) {
-  auto& pr = t.a[row];
-  double pv = pr[col];
-  for (auto& v : pr) v /= pv;
+  double* pr = t.row(row);
+  const double inv = 1.0 / pr[col];
+  const std::size_t stride = t.stride;
+  for (std::size_t j = 0; j < stride; ++j) pr[j] *= inv;
   pr[col] = 1.0;  // kill round-off on the pivot element
   for (std::size_t i = 0; i < t.m; ++i) {
     if (i == row) continue;
-    double f = t.a[i][col];
+    double* ri = t.row(i);
+    double f = ri[col];
     if (std::abs(f) < eps) continue;
-    auto& ri = t.a[i];
-    for (std::size_t j = 0; j <= t.cols; ++j) ri[j] -= f * pr[j];
+    for (std::size_t j = 0; j < stride; ++j) ri[j] -= f * pr[j];
     ri[col] = 0.0;
   }
   double f = t.obj[col];
   if (std::abs(f) >= eps) {
-    for (std::size_t j = 0; j <= t.cols; ++j) t.obj[j] -= f * pr[j];
+    for (std::size_t j = 0; j < stride; ++j) t.obj[j] -= f * pr[j];
     t.obj[col] = 0.0;
   }
   t.basis[row] = col;
@@ -74,7 +78,7 @@ SolveStatus iterate(Tableau& t, const SimplexOptions& opt,
     std::size_t leave = t.m;
     double best_ratio = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < t.m; ++i) {
-      double aij = t.a[i][enter];
+      double aij = t.row(i)[enter];
       if (aij <= opt.eps) continue;
       double ratio = t.rhs(i) / aij;
       if (ratio < best_ratio - opt.eps ||
@@ -93,20 +97,26 @@ SolveStatus iterate(Tableau& t, const SimplexOptions& opt,
 }
 
 /// Rebuilds the objective row (reduced costs) for the given column costs.
-void set_objective(Tableau& t, const std::vector<double>& col_cost) {
-  for (std::size_t j = 0; j <= t.cols; ++j) {
-    t.obj[j] = j < t.cols ? col_cost[j] : 0.0;
-  }
+void set_objective(Tableau& t, const double* col_cost) {
+  for (std::size_t j = 0; j < t.cols; ++j) t.obj[j] = col_cost[j];
+  t.obj[t.cols] = 0.0;
   for (std::size_t i = 0; i < t.m; ++i) {
     double cb = col_cost[t.basis[i]];
     if (cb == 0.0) continue;
-    for (std::size_t j = 0; j <= t.cols; ++j) t.obj[j] -= cb * t.a[i][j];
+    const double* ri = t.row(i);
+    for (std::size_t j = 0; j <= t.cols; ++j) t.obj[j] -= cb * ri[j];
   }
 }
 
 }  // namespace
 
 Solution SimplexSolver::solve(const Model& model) const {
+  SimplexWorkspace workspace;
+  return solve(model, workspace);
+}
+
+Solution SimplexSolver::solve(const Model& model,
+                              SimplexWorkspace& ws) const {
   const std::size_t n = model.num_variables();
   const std::size_t m = model.num_constraints();
 
@@ -150,44 +160,108 @@ Solution SimplexSolver::solve(const Model& model) const {
   t.n_struct = n;
   t.first_artificial = n + n_slack;
   t.cols = n + n_slack + n_artificial;
-  t.a.assign(m, std::vector<double>(t.cols + 1, 0.0));
-  t.obj.assign(t.cols + 1, 0.0);
-  t.basis.assign(m, 0);
-  t.blocked.assign(t.cols, false);
+  t.stride = t.cols + 1;
+  ws.a.resize(m * t.stride);
+  ws.obj.resize(t.stride);
+  ws.cost.resize(t.cols);
+  ws.basis.resize(m);
+  ws.blocked.resize(t.cols);
+  t.a = ws.a.data();
+  t.obj = ws.obj.data();
+  t.basis = ws.basis.data();
+  t.blocked = ws.blocked.data();
 
-  std::size_t slack_at = n;
-  std::size_t art_at = t.first_artificial;
-  for (std::size_t i = 0; i < m; ++i) {
-    const auto& c = model.constraint(i);
-    auto& row = t.a[i];
-    for (const auto& [var, coef] : c.terms) row[var] = rows[i].sign * coef;
-    row[t.cols] = rows[i].sign * c.rhs;
-    switch (rows[i].rel) {
-      case Relation::kLessEqual:
-        row[slack_at] = 1.0;
-        t.basis[i] = slack_at++;
-        break;
-      case Relation::kGreaterEqual:
-        row[slack_at] = -1.0;
-        ++slack_at;
-        row[art_at] = 1.0;
-        t.basis[i] = art_at++;
-        break;
-      case Relation::kEqual:
-        row[art_at] = 1.0;
-        t.basis[i] = art_at++;
-        break;
+  // (Re)writes tableau rows and the default slack/artificial basis —
+  // also how a failed warm-start attempt rewinds to a cold start.
+  auto fill_tableau = [&]() {
+    std::fill(ws.a.begin(), ws.a.end(), 0.0);
+    std::fill(ws.blocked.begin(), ws.blocked.end(), 0);
+    std::size_t slack_at = n;
+    std::size_t art_at = t.first_artificial;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& c = model.constraint(i);
+      double* row = t.row(i);
+      for (const auto& [var, coef] : c.terms) row[var] = rows[i].sign * coef;
+      row[t.cols] = rows[i].sign * c.rhs;
+      switch (rows[i].rel) {
+        case Relation::kLessEqual:
+          row[slack_at] = 1.0;
+          t.basis[i] = slack_at++;
+          break;
+        case Relation::kGreaterEqual:
+          row[slack_at] = -1.0;
+          ++slack_at;
+          row[art_at] = 1.0;
+          t.basis[i] = art_at++;
+          break;
+        case Relation::kEqual:
+          row[art_at] = 1.0;
+          t.basis[i] = art_at++;
+          break;
+      }
     }
-  }
+  };
+  fill_tableau();
 
   std::size_t max_iter = options_.max_iterations;
   if (max_iter == 0) max_iter = 50 * (m + t.cols);
 
+  // --- Warm start: re-pivot onto the previous solve's basis. ---
+  // The basis is a column SET — a column need not land in the row it
+  // occupied last time — so this is Gaussian elimination with partial
+  // pivoting: each target column enters on the not-yet-assigned row with
+  // the largest pivot element. Valid whenever the basis is
+  // non-artificial, every pivot is well-conditioned, and the resulting
+  // vertex is feasible (rhs >= 0); any of those failing falls back to a
+  // cold phase-1 start.
+  bool warm = false;
+  if (ws.has_warm_ && ws.warm_m_ == m && ws.warm_cols_ == t.cols) {
+    warm = true;
+    for (std::size_t i = 0; i < m && warm; ++i) {
+      if (is_artificial(t, ws.warm_basis[i])) warm = false;
+    }
+    ws.row_done.assign(m, 0);
+    for (std::size_t i = 0; i < m && warm; ++i) {
+      std::size_t target = ws.warm_basis[i];
+      std::size_t best_r = m;
+      double best_abs = 1e-7;
+      for (std::size_t r = 0; r < m; ++r) {
+        if (ws.row_done[r]) continue;
+        double v = std::abs(t.row(r)[target]);
+        if (v > best_abs) {
+          best_abs = v;
+          best_r = r;
+        }
+      }
+      if (best_r == m) {
+        warm = false;
+        break;
+      }
+      if (t.basis[best_r] != target) pivot(t, best_r, target, options_.eps);
+      ws.row_done[best_r] = 1;
+    }
+    for (std::size_t i = 0; i < m && warm; ++i) {
+      if (t.rhs(i) < -1e-9) warm = false;
+    }
+    if (warm) {
+      // Basic feasible vertex reached without phase 1; clamp the tiny
+      // negative rhs round-off the feasibility check tolerates.
+      for (std::size_t i = 0; i < m; ++i) {
+        double& b = t.row(i)[t.cols];
+        if (b < 0.0) b = 0.0;
+      }
+      for (std::size_t j = t.first_artificial; j < t.cols; ++j) t.blocked[j] = 1;
+    } else {
+      fill_tableau();
+    }
+  }
+  sol.warm_started = warm;
+
   // --- Phase 1: minimise the sum of artificial variables. ---
-  if (n_artificial > 0) {
-    std::vector<double> phase1_cost(t.cols, 0.0);
-    for (std::size_t j = t.first_artificial; j < t.cols; ++j) phase1_cost[j] = 1.0;
-    set_objective(t, phase1_cost);
+  if (!warm && n_artificial > 0) {
+    std::fill(ws.cost.begin(), ws.cost.end(), 0.0);
+    for (std::size_t j = t.first_artificial; j < t.cols; ++j) ws.cost[j] = 1.0;
+    set_objective(t, ws.cost.data());
     SolveStatus st = iterate(t, options_, sol.iterations, max_iter);
     if (st == SolveStatus::kIterationLimit) {
       sol.status = st;
@@ -205,22 +279,23 @@ Solution SimplexSolver::solve(const Model& model) const {
       if (!is_artificial(t, t.basis[i])) continue;
       std::size_t enter = t.cols;
       for (std::size_t j = 0; j < t.first_artificial; ++j) {
-        if (std::abs(t.a[i][j]) > 1e-7) {
+        if (std::abs(t.row(i)[j]) > 1e-7) {
           enter = j;
           break;
         }
       }
       if (enter != t.cols) pivot(t, i, enter, options_.eps);
     }
-    for (std::size_t j = t.first_artificial; j < t.cols; ++j) t.blocked[j] = true;
+    for (std::size_t j = t.first_artificial; j < t.cols; ++j) t.blocked[j] = 1;
   }
 
   // --- Phase 2: optimise the true objective. ---
-  std::vector<double> cost(t.cols, 0.0);
-  for (std::size_t j = 0; j < n; ++j) cost[j] = model.cost(j);
-  set_objective(t, cost);
+  std::fill(ws.cost.begin(), ws.cost.end(), 0.0);
+  for (std::size_t j = 0; j < n; ++j) ws.cost[j] = model.cost(j);
+  set_objective(t, ws.cost.data());
   SolveStatus st = iterate(t, options_, sol.iterations, max_iter);
   if (st != SolveStatus::kOptimal) {
+    ws.has_warm_ = false;
     sol.status = st;
     return sol;
   }
@@ -230,6 +305,12 @@ Solution SimplexSolver::solve(const Model& model) const {
   }
   sol.objective = model.objective_value(sol.x);
   sol.status = SolveStatus::kOptimal;
+
+  // Remember the optimal basis for the next same-shaped solve.
+  ws.warm_basis.assign(ws.basis.begin(), ws.basis.end());
+  ws.warm_m_ = m;
+  ws.warm_cols_ = t.cols;
+  ws.has_warm_ = true;
   return sol;
 }
 

@@ -67,6 +67,17 @@ void topo_sort(const Var& root, std::vector<Node*>& order) {
   }
 }
 
+/// Thread-local scratch arena for backward closures (DESIGN.md
+/// "Performance"). Gradients are staged in pool slots and copied into the
+/// parents' accumulators before the closure returns, so slots are only
+/// held transiently and training loops stop allocating a fresh Matrix per
+/// op once the pool is warm. One pool per thread keeps parallel
+/// replication workers race-free.
+MatrixPool& scratch() {
+  thread_local MatrixPool pool;
+  return pool;
+}
+
 }  // namespace
 
 void backward(const Var& root) {
@@ -84,8 +95,12 @@ void backward(const Var& root) {
 Var op_matmul(const Var& a, const Var& b) {
   Matrix value = matmul(a->value, b->value);
   return make_op(std::move(value), {a, b}, [a, b](Node& n) {
-    a->accumulate(matmul(n.grad, b->value.transposed()));
-    b->accumulate(matmul(a->value.transposed(), n.grad));
+    // dA = dC·Bᵀ, dB = Aᵀ·dC — transpose-free kernels into pooled scratch.
+    Matrix& g = scratch().get(0);
+    matmul_abT_into(g, n.grad, b->value);
+    a->accumulate(g);
+    matmul_aTb_into(g, a->value, n.grad);
+    b->accumulate(g);
   });
 }
 
@@ -99,14 +114,19 @@ Var op_add(const Var& a, const Var& b) {
 Var op_sub(const Var& a, const Var& b) {
   return make_op(sub(a->value, b->value), {a, b}, [a, b](Node& n) {
     a->accumulate(n.grad);
-    b->accumulate(scale(n.grad, -1.0));
+    Matrix& g = scratch().get(0);
+    scale_into(g, n.grad, -1.0);
+    b->accumulate(g);
   });
 }
 
 Var op_hadamard(const Var& a, const Var& b) {
   return make_op(hadamard(a->value, b->value), {a, b}, [a, b](Node& n) {
-    a->accumulate(hadamard(n.grad, b->value));
-    b->accumulate(hadamard(n.grad, a->value));
+    Matrix& g = scratch().get(0);
+    hadamard_into(g, n.grad, b->value);
+    a->accumulate(g);
+    hadamard_into(g, n.grad, a->value);
+    b->accumulate(g);
   });
 }
 
@@ -114,13 +134,18 @@ Var op_add_row(const Var& a, const Var& bias) {
   return make_op(add_row_broadcast(a->value, bias->value), {a, bias},
                  [a, bias](Node& n) {
                    a->accumulate(n.grad);
-                   bias->accumulate(col_sums(n.grad));
+                   Matrix& g = scratch().get(0);
+                   col_sums_into(g, n.grad);
+                   bias->accumulate(g);
                  });
 }
 
 Var op_scale(const Var& a, double s) {
-  return make_op(scale(a->value, s), {a},
-                 [a, s](Node& n) { a->accumulate(scale(n.grad, s)); });
+  return make_op(scale(a->value, s), {a}, [a, s](Node& n) {
+    Matrix& g = scratch().get(0);
+    scale_into(g, n.grad, s);
+    a->accumulate(g);
+  });
 }
 
 Var op_sigmoid(const Var& a) {
@@ -129,7 +154,8 @@ Var op_sigmoid(const Var& a) {
   Matrix yv = node->value;  // captured copy for the backward closure
   if (!node->parents.empty()) {
     node->backward_fn = [a, yv](Node& n) {
-      Matrix d = n.grad;
+      Matrix& d = scratch().get(0);
+      d = n.grad;  // copy-assign reuses the slot's capacity
       for (std::size_t i = 0; i < d.size(); ++i) d[i] *= yv[i] * (1.0 - yv[i]);
       a->accumulate(d);
     };
@@ -143,7 +169,8 @@ Var op_tanh(const Var& a) {
   Matrix yv = node->value;
   if (!node->parents.empty()) {
     node->backward_fn = [a, yv](Node& n) {
-      Matrix d = n.grad;
+      Matrix& d = scratch().get(0);
+      d = n.grad;
       for (std::size_t i = 0; i < d.size(); ++i) d[i] *= 1.0 - yv[i] * yv[i];
       a->accumulate(d);
     };
@@ -154,7 +181,8 @@ Var op_tanh(const Var& a) {
 Var op_relu(const Var& a) {
   Matrix y = map_relu(a->value);
   return make_op(y, {a}, [a](Node& n) {
-    Matrix d = n.grad;
+    Matrix& d = scratch().get(0);
+    d = n.grad;
     for (std::size_t i = 0; i < d.size(); ++i) {
       if (a->value[i] <= 0.0) d[i] = 0.0;
     }
@@ -165,14 +193,26 @@ Var op_relu(const Var& a) {
 Var op_concat_cols(const Var& a, const Var& b) {
   std::size_t ac = a->value.cols();
   return make_op(concat_cols(a->value, b->value), {a, b}, [a, b, ac](Node& n) {
-    a->accumulate(slice_cols(n.grad, 0, ac));
-    b->accumulate(slice_cols(n.grad, ac, n.grad.cols()));
+    Matrix& g = scratch().get(0);
+    const std::size_t rows = n.grad.rows(), cols = n.grad.cols();
+    g.resize(rows, ac);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = 0; j < ac; ++j) g.at(r, j) = n.grad.at(r, j);
+    }
+    a->accumulate(g);
+    g.resize(rows, cols - ac);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t j = ac; j < cols; ++j) g.at(r, j - ac) = n.grad.at(r, j);
+    }
+    b->accumulate(g);
   });
 }
 
 Var op_slice_cols(const Var& a, std::size_t begin, std::size_t end) {
   return make_op(slice_cols(a->value, begin, end), {a}, [a, begin, end](Node& n) {
-    Matrix d(a->value.rows(), a->value.cols());
+    Matrix& d = scratch().get(0);
+    d.resize(a->value.rows(), a->value.cols());
+    d.fill(0.0);
     for (std::size_t r = 0; r < d.rows(); ++r) {
       for (std::size_t j = begin; j < end; ++j) {
         d.at(r, j) = n.grad.at(r, j - begin);
@@ -186,7 +226,9 @@ Var op_mean_all(const Var& a) {
   Matrix value(1, 1, a->value.mean());
   double inv_n = 1.0 / static_cast<double>(a->value.size());
   return make_op(std::move(value), {a}, [a, inv_n](Node& n) {
-    Matrix d(a->value.rows(), a->value.cols(), n.grad[0] * inv_n);
+    Matrix& d = scratch().get(0);
+    d.resize(a->value.rows(), a->value.cols());
+    d.fill(n.grad[0] * inv_n);
     a->accumulate(d);
   });
 }
@@ -201,11 +243,13 @@ Var loss_mse(const Var& pred, const Var& target) {
   for (std::size_t i = 0; i < diff.size(); ++i) loss += diff[i] * diff[i];
   loss /= n;
   return make_op(Matrix(1, 1, loss), {pred, target}, [pred, target, n](Node& node) {
-    Matrix d = sub(pred->value, target->value);
+    Matrix& d = scratch().get(0);
+    sub_into(d, pred->value, target->value);
     double s = 2.0 * node.grad[0] / n;
     for (std::size_t i = 0; i < d.size(); ++i) d[i] *= s;
     pred->accumulate(d);
-    target->accumulate(scale(d, -1.0));
+    d.scale_in_place(-1.0);
+    target->accumulate(d);
   });
 }
 
@@ -225,7 +269,8 @@ Var loss_bce_with_logits(const Var& logits, const Var& targets) {
   }
   loss /= n;
   return make_op(Matrix(1, 1, loss), {logits, targets}, [logits, targets, n](Node& node) {
-    Matrix d = map_sigmoid(logits->value);
+    Matrix& d = scratch().get(0);
+    map_sigmoid_into(d, logits->value);
     d.add_scaled(targets->value, -1.0);
     double s = node.grad[0] / n;
     for (std::size_t i = 0; i < d.size(); ++i) d[i] *= s;
@@ -248,7 +293,8 @@ Var loss_softmax_cross_entropy(const Var& logits, const Var& targets) {
   loss /= rows;
   return make_op(Matrix(1, 1, loss), {logits, targets},
                  [logits, targets, p, rows](Node& node) {
-                   Matrix d = p;
+                   Matrix& d = scratch().get(0);
+                   d = p;
                    d.add_scaled(targets->value, -1.0);
                    double s = node.grad[0] / rows;
                    for (std::size_t i = 0; i < d.size(); ++i) d[i] *= s;

@@ -129,8 +129,10 @@ Var GRUCell::step(const Var& x, const Var& prev_h) const {
   Var xr = op_concat_cols(x, op_hadamard(r, prev_h));
   Var h_cand = op_tanh(op_add_row(op_matmul(xr, w_h_), b_h_));
   // h' = (1 − z) ⊙ h + z ⊙ h̃.
-  Var ones = constant(Matrix(x->value.rows(), hidden_, 1.0));
-  return op_add(op_hadamard(op_sub(ones, z), prev_h), op_hadamard(z, h_cand));
+  if (!ones_ || ones_->value.rows() != x->value.rows()) {
+    ones_ = constant(Matrix(x->value.rows(), hidden_, 1.0));
+  }
+  return op_add(op_hadamard(op_sub(ones_, z), prev_h), op_hadamard(z, h_cand));
 }
 
 GRU::GRU(std::size_t input_size, std::size_t hidden_size, common::Rng& rng)

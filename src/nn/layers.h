@@ -127,6 +127,10 @@ class GRUCell final : public Module {
   Var b_zr_;  // 1 × 2·hidden
   Var w_h_;   // (input+hidden) × hidden (candidate)
   Var b_h_;   // 1 × hidden
+  // Cached all-ones constant for h' = (1−z)⊙h + z⊙h̃, rebuilt only when
+  // the batch size changes. Safe to share across steps: a constant leaf
+  // never accumulates gradient.
+  mutable Var ones_;
 };
 
 /// Unidirectional GRU over a sequence.

@@ -57,11 +57,21 @@ Matrix Matrix::transposed() const {
   return t;
 }
 
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 void Matrix::fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
 void Matrix::add_scaled(const Matrix& other, double s) {
   MECSC_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += s * other.data_[i];
+}
+
+void Matrix::scale_in_place(double s) {
+  for (double& v : data_) v *= s;
 }
 
 double Matrix::sum() const {
@@ -81,19 +91,75 @@ double Matrix::max_abs() const {
 }
 
 Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c;
+  matmul_into(c, a, b);
+  return c;
+}
+
+void matmul_into(Matrix& out, const Matrix& a, const Matrix& b) {
   MECSC_CHECK_MSG(a.cols() == b.rows(), "matmul dimension mismatch");
-  Matrix c(a.rows(), b.cols());
-  // i-k-j order: streams through b row-wise for cache friendliness.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      double aik = a[i * a.cols() + k];
-      if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        c[i * b.cols() + j] += aik * b[k * b.cols() + j];
+  const std::size_t m = a.rows(), kk = a.cols(), n = b.cols();
+  out.resize(m, n);
+  out.fill(0.0);
+  const double* ad = a.data().data();
+  const double* bd = b.data().data();
+  double* cd = out.data().data();
+  // i-k-j order blocked over k: a kKB-row panel of b stays in cache while
+  // each output row accumulates against it.
+  constexpr std::size_t kKB = 64;
+  for (std::size_t k0 = 0; k0 < kk; k0 += kKB) {
+    const std::size_t k1 = std::min(kk, k0 + kKB);
+    for (std::size_t i = 0; i < m; ++i) {
+      const double* ar = ad + i * kk;
+      double* cr = cd + i * n;
+      for (std::size_t k = k0; k < k1; ++k) {
+        const double aik = ar[k];
+        if (aik == 0.0) continue;  // one-hot / sparse inputs are common
+        const double* br = bd + k * n;
+        for (std::size_t j = 0; j < n; ++j) cr[j] += aik * br[j];
       }
     }
   }
-  return c;
+}
+
+void matmul_abT_into(Matrix& out, const Matrix& a, const Matrix& b) {
+  MECSC_CHECK_MSG(a.cols() == b.cols(), "matmul_abT dimension mismatch");
+  const std::size_t m = a.rows(), kk = a.cols(), n = b.rows();
+  out.resize(m, n);
+  const double* ad = a.data().data();
+  const double* bd = b.data().data();
+  double* cd = out.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* ar = ad + i * kk;
+    double* cr = cd + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* br = bd + j * kk;
+      double s = 0.0;
+      for (std::size_t k = 0; k < kk; ++k) s += ar[k] * br[k];
+      cr[j] = s;
+    }
+  }
+}
+
+void matmul_aTb_into(Matrix& out, const Matrix& a, const Matrix& b) {
+  MECSC_CHECK_MSG(a.rows() == b.rows(), "matmul_aTb dimension mismatch");
+  const std::size_t m = a.cols(), kk = a.rows(), n = b.cols();
+  out.resize(m, n);
+  out.fill(0.0);
+  const double* ad = a.data().data();
+  const double* bd = b.data().data();
+  double* cd = out.data().data();
+  // Accumulate rank-1 updates row-by-row of a/b — every access stride-1.
+  for (std::size_t k = 0; k < kk; ++k) {
+    const double* ar = ad + k * m;
+    const double* br = bd + k * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double aki = ar[i];
+      if (aki == 0.0) continue;
+      double* cr = cd + i * n;
+      for (std::size_t j = 0; j < n; ++j) cr[j] += aki * br[j];
+    }
+  }
 }
 
 namespace {
@@ -193,11 +259,57 @@ Matrix softmax_rows(const Matrix& a) {
 }
 
 Matrix col_sums(const Matrix& a) {
-  Matrix c(1, a.cols());
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    for (std::size_t j = 0; j < a.cols(); ++j) c[j] += a.at(r, j);
-  }
+  Matrix c;
+  col_sums_into(c, a);
   return c;
+}
+
+void add_into(Matrix& out, const Matrix& a, const Matrix& b) {
+  check_same_shape(a, b);
+  out.resize(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] + b[i];
+}
+
+void sub_into(Matrix& out, const Matrix& a, const Matrix& b) {
+  check_same_shape(a, b);
+  out.resize(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] - b[i];
+}
+
+void hadamard_into(Matrix& out, const Matrix& a, const Matrix& b) {
+  check_same_shape(a, b);
+  out.resize(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = a[i] * b[i];
+}
+
+void scale_into(Matrix& out, const Matrix& a, double s) {
+  out.resize(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = s * a[i];
+}
+
+void map_sigmoid_into(Matrix& out, const Matrix& a) {
+  out.resize(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = 1.0 / (1.0 + std::exp(-a[i]));
+  }
+}
+
+void map_tanh_into(Matrix& out, const Matrix& a) {
+  out.resize(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::tanh(a[i]);
+}
+
+void map_relu_into(Matrix& out, const Matrix& a) {
+  out.resize(a.rows(), a.cols());
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] = std::max(0.0, a[i]);
+}
+
+void col_sums_into(Matrix& out, const Matrix& a) {
+  out.resize(1, a.cols());
+  out.fill(0.0);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += a.at(r, j);
+  }
 }
 
 }  // namespace mecsc::nn

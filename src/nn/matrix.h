@@ -2,6 +2,7 @@
 #define MECSC_NN_MATRIX_H
 
 #include <cstddef>
+#include <deque>
 #include <initializer_list>
 #include <vector>
 
@@ -42,9 +43,15 @@ class Matrix {
 
   Matrix transposed() const;
 
+  /// Reshapes to rows×cols without preserving contents. Never shrinks the
+  /// underlying buffer, so repeatedly resizing a reused matrix to the
+  /// same (or smaller) shape allocates nothing.
+  void resize(std::size_t rows, std::size_t cols);
+
   // In-place helpers used by the optimizer.
   void fill(double v);
   void add_scaled(const Matrix& other, double scale);  // this += scale*other
+  void scale_in_place(double s);                       // this *= s
 
   double sum() const;
   double mean() const;
@@ -77,6 +84,49 @@ Matrix map_relu(const Matrix& a);
 Matrix softmax_rows(const Matrix& a);
 /// Column sums: 1×cols.
 Matrix col_sums(const Matrix& a);
+
+// ---------------------------------------------------------------------------
+// Output-parameter kernels (DESIGN.md "Performance"). Each writes its result
+// into `out`, resizing it as needed; passing a reused `out` makes the
+// steady state allocation-free. `out` must not alias an input.
+// ---------------------------------------------------------------------------
+
+/// out = A·B, with the inner loops blocked over k so panels of B stay in
+/// cache while a row of the output accumulates.
+void matmul_into(Matrix& out, const Matrix& a, const Matrix& b);
+/// out = A·Bᵀ without materialising the transpose: each entry is a
+/// stride-1 dot product of a row of A with a row of B.
+void matmul_abT_into(Matrix& out, const Matrix& a, const Matrix& b);
+/// out = Aᵀ·B without materialising the transpose: rank-1 updates
+/// accumulated row-by-row, all stride-1.
+void matmul_aTb_into(Matrix& out, const Matrix& a, const Matrix& b);
+void add_into(Matrix& out, const Matrix& a, const Matrix& b);
+void sub_into(Matrix& out, const Matrix& a, const Matrix& b);
+void hadamard_into(Matrix& out, const Matrix& a, const Matrix& b);
+void scale_into(Matrix& out, const Matrix& a, double s);
+void map_sigmoid_into(Matrix& out, const Matrix& a);
+void map_tanh_into(Matrix& out, const Matrix& a);
+void map_relu_into(Matrix& out, const Matrix& a);
+void col_sums_into(Matrix& out, const Matrix& a);
+
+/// Slot-indexed arena of reusable scratch matrices. Callers grab a slot,
+/// resize it via the `_into` kernels, and reuse the same slot on the next
+/// call — after warm-up no kernel in the loop allocates. One pool per
+/// thread (see autodiff.cpp's backward closures); slots are stable
+/// references, so a caller may hold several slots at once as long as the
+/// indices differ.
+class MatrixPool {
+ public:
+  Matrix& get(std::size_t slot) {
+    if (slot >= slots_.size()) slots_.resize(slot + 1);
+    return slots_[slot];
+  }
+
+ private:
+  // Deque so growing for a new slot never invalidates references to
+  // slots already handed out.
+  std::deque<Matrix> slots_;
+};
 
 }  // namespace mecsc::nn
 

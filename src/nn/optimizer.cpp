@@ -48,7 +48,8 @@ void Sgd::step() {
     auto& p = params_[i];
     if (p->grad.empty()) continue;
     if (momentum_ > 0.0) {
-      velocity_[i] = add(scale(velocity_[i], momentum_), p->grad);
+      velocity_[i].scale_in_place(momentum_);
+      velocity_[i].add_scaled(p->grad, 1.0);
       p->value.add_scaled(velocity_[i], -lr_);
     } else {
       p->value.add_scaled(p->grad, -lr_);

@@ -1,0 +1,100 @@
+#ifndef MECSC_SIM_REPLICATION_H
+#define MECSC_SIM_REPLICATION_H
+
+// Parallel topology-replication runner for the figure benches (DESIGN.md
+// "Performance").
+//
+// Every bench averages over independent topology replications; each
+// replication derives all of its randomness from its own seed (e.g.
+// `p.seed = 1000 + rep`), so replications are embarrassingly parallel.
+// The runner farms the replication bodies out to a worker pool but
+// applies the merge step sequentially in replication order, which makes
+// the accumulated statistics BITWISE IDENTICAL to a sequential run — the
+// same RunningStats values in the same order — regardless of worker
+// count or scheduling (tests/test_sim.cpp asserts this).
+//
+// Thread-safety contract: the body must be self-contained — it builds
+// its own Scenario / algorithms / solver scratch from `rep` and returns
+// a result by value (one solver workspace per worker falls out of this
+// naturally). The merge callback runs on the calling thread only and may
+// touch shared accumulators freely.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace mecsc::sim {
+
+/// Worker count for replication fan-out: MECSC_WORKERS when set, else
+/// hardware concurrency (min 1).
+inline std::size_t replication_workers() {
+  if (const char* v = std::getenv("MECSC_WORKERS"); v != nullptr && *v != '\0') {
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end != v && parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+/// Runs `body(rep)` for rep in [0, count) across `replication_workers()`
+/// threads, then calls `merge(rep, result)` on the calling thread in
+/// ascending rep order. With one worker (or one replication) it
+/// degenerates to the plain sequential loop. Exceptions thrown by a body
+/// are rethrown here after the pool joins.
+template <typename Body, typename Merge>
+void run_replications(std::size_t count, Body&& body, Merge&& merge) {
+  using Result = std::invoke_result_t<Body&, std::size_t>;
+  static_assert(!std::is_void_v<Result>,
+                "replication body must return its per-rep result by value");
+
+  const std::size_t workers = std::min(count, replication_workers());
+  if (workers <= 1) {
+    for (std::size_t rep = 0; rep < count; ++rep) {
+      Result r = body(rep);
+      merge(rep, r);
+    }
+    return;
+  }
+
+  std::vector<std::optional<Result>> results(count);
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr error;
+  std::mutex error_mu;
+  {
+    std::vector<std::jthread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&]() {
+        while (true) {
+          std::size_t rep = next.fetch_add(1, std::memory_order_relaxed);
+          if (rep >= count) return;
+          try {
+            results[rep].emplace(body(rep));
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(error_mu);
+            if (!error) error = std::current_exception();
+            return;
+          }
+        }
+      });
+    }
+  }  // jthreads join here
+  if (error) std::rethrow_exception(error);
+
+  for (std::size_t rep = 0; rep < count; ++rep) {
+    merge(rep, *results[rep]);
+  }
+}
+
+}  // namespace mecsc::sim
+
+#endif  // MECSC_SIM_REPLICATION_H

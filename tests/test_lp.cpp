@@ -125,6 +125,62 @@ TEST(Simplex, DegenerateProblemTerminates) {
   EXPECT_NEAR(s.objective, -2.0, 1e-8);
 }
 
+TEST(Simplex, BealeCyclingProblemTerminatesAtOptimum) {
+  // Beale's classic cycling example: Dantzig's rule cycles forever on the
+  // degenerate vertex at the origin in exact arithmetic. The automatic
+  // switch to Bland's rule (SimplexOptions::bland_after) must break the
+  // cycle and reach the optimum -1/20 on the flat tableau.
+  Model m;
+  auto x1 = m.add_variable(-0.75);
+  auto x2 = m.add_variable(150.0);
+  auto x3 = m.add_variable(-0.02);
+  auto x4 = m.add_variable(6.0);
+  m.add_constraint(make({{x1, 0.25}, {x2, -60.0}, {x3, -1.0 / 25.0}, {x4, 9.0}},
+                        Relation::kLessEqual, 0.0));
+  m.add_constraint(make({{x1, 0.5}, {x2, -90.0}, {x3, -1.0 / 50.0}, {x4, 3.0}},
+                        Relation::kLessEqual, 0.0));
+  m.add_constraint(make({{x3, 1.0}}, Relation::kLessEqual, 1.0));
+  SimplexOptions opt;
+  opt.bland_after = 4;  // hit the anti-cycling path quickly
+  Solution s = SimplexSolver(opt).solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -0.05, 1e-9);
+  EXPECT_NEAR(s.x[x3], 1.0, 1e-9);
+}
+
+TEST(Simplex, WorkspaceWarmStartMatchesColdSolve) {
+  // Two same-shaped models with smoothly perturbed costs/rhs — the
+  // per-slot caching LP pattern. The second solve must warm-start from
+  // the first solve's basis and still agree with a cold solve.
+  auto build = [&](double bump) {
+    Model m;
+    auto x = m.add_variable(1.0 + bump);
+    auto y = m.add_variable(2.0);
+    auto z = m.add_variable(0.5 + bump);
+    m.add_constraint(make({{x, 1.0}, {y, 1.0}}, Relation::kGreaterEqual, 2.0));
+    m.add_constraint(make({{y, 1.0}, {z, 1.0}}, Relation::kGreaterEqual, 1.5 + bump));
+    m.add_constraint(make({{x, 1.0}, {z, 2.0}}, Relation::kLessEqual, 8.0));
+    return m;
+  };
+  SimplexSolver solver;
+  SimplexWorkspace ws;
+  Solution first = solver.solve(build(0.0), ws);
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(first.warm_started);
+
+  Model second = build(0.1);
+  Solution warm = solver.solve(second, ws);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+
+  Solution cold = solver.solve(second);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  for (std::size_t j = 0; j < cold.x.size(); ++j) {
+    EXPECT_NEAR(warm.x[j], cold.x[j], 1e-9);
+  }
+}
+
 TEST(Simplex, TransportationProblemKnownOptimum) {
   // 2 sources (supply 10, 20), 2 sinks (demand 15 each), costs
   // [[1, 4], [2, 1]]. Optimal: s0->d0 10, s1->d0 5, s1->d1 15, cost 35.

@@ -1,9 +1,15 @@
-// Tests for the simulation harness: Simulator, RunResult metrics, and
-// Scenario construction.
+// Tests for the simulation harness: Simulator, RunResult metrics,
+// Scenario construction, and the parallel replication runner.
 #include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+#include <vector>
 
 #include "algorithms/baselines.h"
 #include "algorithms/ol_gd.h"
+#include "sim/replication.h"
 #include "sim/scenario.h"
 #include "sim/simulator.h"
 
@@ -139,6 +145,66 @@ TEST(RunResult, EmptyStatsAreZero) {
   EXPECT_DOUBLE_EQ(r.mean_delay_ms(), 0.0);
   EXPECT_DOUBLE_EQ(r.mean_decision_time_ms(), 0.0);
   EXPECT_DOUBLE_EQ(r.tail_mean_delay_ms(5), 0.0);
+}
+
+// Runs the bench-style replication body under a forced worker count and
+// returns (per-rep mean delays, merge order).
+std::pair<std::vector<double>, std::vector<std::size_t>> run_reps(
+    const char* workers, std::size_t count) {
+  setenv("MECSC_WORKERS", workers, 1);
+  std::vector<double> delays;
+  std::vector<std::size_t> merge_order;
+  run_replications(
+      count,
+      [&](std::size_t rep) {
+        ScenarioParams p = small_params(2000 + rep);
+        Scenario s(p);
+        algorithms::OlOptions opt;
+        opt.theta_prior = s.theta_prior();
+        auto algo = algorithms::make_ol_gd(s.problem(), s.demands(), opt,
+                                           s.algorithm_seed(0));
+        return s.simulator().run(*algo).mean_delay_ms();
+      },
+      [&](std::size_t rep, double& d) {
+        delays.push_back(d);
+        merge_order.push_back(rep);
+      });
+  unsetenv("MECSC_WORKERS");
+  return {delays, merge_order};
+}
+
+TEST(Replication, ParallelRunIsBitwiseIdenticalToSequential) {
+  // Each replication seeds all of its randomness from `rep`, so fanning
+  // the bodies out over jthread workers and merging in rep order must
+  // reproduce the sequential run EXACTLY — same doubles, same order —
+  // regardless of worker count or scheduling.
+  const std::size_t kReps = 4;
+  auto [seq, seq_order] = run_reps("1", kReps);
+  auto [par, par_order] = run_reps("3", kReps);
+  ASSERT_EQ(seq.size(), kReps);
+  ASSERT_EQ(par.size(), kReps);
+  for (std::size_t i = 0; i < kReps; ++i) {
+    EXPECT_EQ(seq[i], par[i]) << "rep " << i << " diverged under parallelism";
+    EXPECT_EQ(seq_order[i], i);
+    EXPECT_EQ(par_order[i], i);
+  }
+  for (std::size_t i = 0; i < kReps; ++i) {
+    EXPECT_GT(seq[i], 0.0);
+  }
+}
+
+TEST(Replication, PropagatesBodyException) {
+  setenv("MECSC_WORKERS", "2", 1);
+  EXPECT_THROW(
+      run_replications(
+          3,
+          [](std::size_t rep) -> int {
+            if (rep == 1) throw std::runtime_error("boom");
+            return static_cast<int>(rep);
+          },
+          [](std::size_t, int&) {}),
+      std::runtime_error);
+  unsetenv("MECSC_WORKERS");
 }
 
 TEST(Simulator, BaselinesRunOnScenario) {
