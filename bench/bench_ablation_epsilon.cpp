@@ -91,5 +91,6 @@ int main() {
   }
   std::cout << "\n";
   bench::print_table("Exploration schedules", t);
+  bench::dump_telemetry();
   return 0;
 }

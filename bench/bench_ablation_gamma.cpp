@@ -52,5 +52,6 @@ int main() {
   }
   std::cout << "\n";
   bench::print_table("Average delay vs γ", t);
+  bench::dump_telemetry();
   return 0;
 }

@@ -73,5 +73,6 @@ int main() {
                "deterministic baselines keep reusing theirs, so on-change "
                "accounting rewards placement stability that the paper's "
                "objective never measures.\n";
+  bench::dump_telemetry();
   return 0;
 }

@@ -71,5 +71,6 @@ int main() {
   }
   std::cout << "\n";
   bench::print_table("Average delay vs mobility rate", t);
+  bench::dump_telemetry();
   return 0;
 }

@@ -72,5 +72,6 @@ int main() {
   }
   std::cout << "\n";
   bench::print_table("Recurrent-core comparison", t);
+  bench::dump_telemetry();
   return 0;
 }

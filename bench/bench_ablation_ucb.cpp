@@ -73,5 +73,6 @@ int main() {
   }
   std::cout << "\n";
   bench::print_table("Exploration mechanisms", t);
+  bench::dump_telemetry();
   return 0;
 }

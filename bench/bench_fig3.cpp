@@ -110,5 +110,6 @@ int main() {
             << (mean_gr.mean() > mean_pr.mean() ? "OK" : "MISMATCH")
             << "), OL_GD runtime marginally higher ("
             << (time_ol.mean() > time_gr.mean() ? "OK" : "MISMATCH") << ")\n";
+  bench::dump_telemetry();
   return 0;
 }

@@ -70,5 +70,6 @@ int main() {
   bench::print_table("Fig. 4(a): average delay (ms) vs network size", fig4a);
   bench::print_table("Fig. 4(b): running time (ms per 100 slots) vs network size",
                      fig4b);
+  bench::dump_telemetry();
   return 0;
 }

@@ -88,5 +88,6 @@ int main() {
             << (real.ol < real.gr && real.ol < real.pr ? "OK" : "MISMATCH")
             << "), gap larger on real than synthetic ("
             << (gap(real) > gap(synth) ? "OK" : "MISMATCH") << ")\n";
+  bench::dump_telemetry();
   return 0;
 }

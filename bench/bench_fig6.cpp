@@ -111,5 +111,6 @@ int main() {
             << "), OL_GAN total compute " << common::fmt(ratio, 1)
             << "x OL_Reg (paper: ~4x-5x; "
             << (ratio > 1.5 ? "OK" : "MISMATCH") << ")\n";
+  bench::dump_telemetry();
   return 0;
 }

@@ -102,5 +102,6 @@ int main() {
             << "), delay decreasing with size ("
             << (gan_by_size.back() < gan_by_size.front() ? "OK" : "MISMATCH")
             << ")\n";
+  bench::dump_telemetry();
   return 0;
 }

@@ -21,6 +21,8 @@
 #include "core/lp_formulation.h"
 #include "lp/simplex.h"
 #include "nn/matrix.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "sim/scenario.h"
 #include "sim/simulator.h"
 
@@ -163,7 +165,38 @@ int main(int argc, char** argv) {
     results.push_back(b);
   }
 
+  // --- 4. Telemetry-off overhead: the disabled-path macro must stay in
+  // the low-nanosecond range (a relaxed atomic load + branch). The bound
+  // is deliberately generous — it guards against accidentally making the
+  // off path allocate or lock, not against scheduler noise.
+  if (!obs::enabled()) {
+    const std::size_t iters = quick ? 200000 : 2000000;
+    common::Stopwatch watch;
+    double sink = 0.0;
+    for (std::size_t i = 0; i < iters; ++i) {
+      MECSC_COUNT("bench.noop", 1.0);
+      MECSC_HISTOGRAM("bench.noop_hist", static_cast<double>(i));
+      sink += static_cast<double>(i & 1);
+    }
+    const double total_ms = watch.elapsed_ms();
+    const double ns_per_call = total_ms * 1e6 / static_cast<double>(2 * iters);
+    BenchResult b;
+    b.name = "telemetry_off_noop";
+    b.iterations = 2 * iters;
+    b.total_ms = total_ms;
+    std::cout << "  " << b.name << ": " << common::fmt(ns_per_call, 2)
+              << " ns/call over " << b.iterations << " disabled macro calls\n";
+    results.push_back(b);
+    if (sink < 0.0) std::cout << "";  // keep `sink` observable
+    if (ns_per_call > 100.0) {
+      std::cerr << "FAIL: disabled telemetry macro costs " << ns_per_call
+                << " ns/call (budget 100 ns) — the off path regressed\n";
+      return 1;
+    }
+  }
+
   write_json(results, quick);
   std::cout << "\nwrote BENCH_perf.json\n";
+  bench::dump_telemetry();
   return 0;
 }

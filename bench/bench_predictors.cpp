@@ -92,5 +92,6 @@ int main() {
   }
   std::cout << "\n";
   bench::print_table("One-step-ahead MAE by predictor and sample size", t);
+  bench::dump_telemetry();
   return 0;
 }

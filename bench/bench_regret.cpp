@@ -79,5 +79,6 @@ int main() {
   std::cout << "\nPer-slot regret rate: early " << common::fmt(early_rate, 3)
             << " -> late " << common::fmt(late_rate, 3) << " ("
             << (late_rate < early_rate ? "sublinear OK" : "MISMATCH") << ")\n";
+  bench::dump_telemetry();
   return 0;
 }

@@ -7,23 +7,34 @@
 // 80; default here is smaller for laptop runtimes — override with
 // MECSC_TOPOLOGIES) and prints the figure's series as aligned tables.
 
-#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "common/env.h"
 #include "common/table.h"
+#include "obs/export.h"
 
 namespace mecsc::bench {
 
 /// Environment-variable override with default (all benches honour
-/// MECSC_TOPOLOGIES, MECSC_SLOTS, ...).
+/// MECSC_TOPOLOGIES, MECSC_SLOTS, ...). Strict: a trailing non-numeric
+/// suffix is rejected with a stderr warning (common::env_size_strict)
+/// instead of silently truncating, and an explicit 0 means 0.
 inline std::size_t env_size(const char* name, std::size_t fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  unsigned long long parsed = std::strtoull(v, &end, 10);
-  if (end == v || parsed == 0) return fallback;
-  return static_cast<std::size_t>(parsed);
+  return common::env_size_or(name, fallback);
+}
+
+/// End-of-run telemetry dump (every bench main calls this last): no-op
+/// unless MECSC_TELEMETRY is summary/full; writes to MECSC_TELEMETRY_OUT
+/// or, when unset, JSONL to stdout.
+inline void dump_telemetry() {
+  if (obs::dump(obs::default_registry(), std::cout)) {
+    std::cerr << "mecsc: telemetry dumped ("
+              << (std::getenv("MECSC_TELEMETRY_OUT") != nullptr
+                      ? std::getenv("MECSC_TELEMETRY_OUT")
+                      : "stdout, JSONL")
+              << ")\n";
+  }
 }
 
 /// Prints a titled table (and its CSV) to stdout.

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "core/lp_formulation.h"
 #include "lp/simplex.h"
 #include "net/base_station.h"
@@ -90,6 +92,9 @@ core::Assignment OnlineCachingAlgorithm::decide(std::size_t t) {
   ropt.gamma = options_.gamma;
   ropt.epsilon = options_.epsilon.at(t);
   ropt.per_slot_coin = options_.per_slot_coin;
+  MECSC_COUNT("olgd.decides", 1.0);
+  MECSC_GAUGE_SET("olgd.epsilon", ropt.epsilon);  // ε trajectory's tail
+  MECSC_HISTOGRAM("olgd.epsilon_trajectory", ropt.epsilon);
   return core::round_assignment(*problem_, frac, last_demands_, theta, ropt, rng_);
 }
 
@@ -102,8 +107,16 @@ void OnlineCachingAlgorithm::observe(std::size_t t, const core::Assignment& deci
   // keeps this allocation-free on the per-slot path.
   played_.assign(problem_->num_stations(), false);
   for (std::size_t i : decision.station_of_request) played_[i] = true;
+  const bool telemetry = obs::enabled();
   for (std::size_t i = 0; i < played_.size(); ++i) {
-    if (played_[i]) bandit_.observe(i, realized_unit_delays[i]);
+    if (played_[i]) {
+      bandit_.observe(i, realized_unit_delays[i]);
+      if (telemetry) {
+        obs::current()
+            .counter("olgd.arm_pulls", {{"arm", std::to_string(i)}})
+            .inc();
+      }
+    }
   }
   if (predictor_) predictor_->observe(t, true_demands);
 }

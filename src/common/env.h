@@ -1,0 +1,43 @@
+#ifndef MECSC_COMMON_ENV_H
+#define MECSC_COMMON_ENV_H
+
+// Strict environment-variable parsing shared by the bench harnesses
+// (MECSC_TOPOLOGIES, MECSC_SLOTS, ...), the replication runner
+// (MECSC_WORKERS), and the telemetry subsystem.
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+
+namespace mecsc::common {
+
+/// Parses environment variable `name` as a base-10 std::size_t.
+/// Returns std::nullopt when the variable is unset or empty. A value
+/// with a non-numeric suffix ("10abc") or no digits at all is rejected
+/// with a warning on stderr and also yields std::nullopt — a silently
+/// misparsed knob is worse than the default. An explicit "0" parses as
+/// 0; what zero means is the caller's call.
+inline std::optional<std::size_t> env_size_strict(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || *end != '\0') {
+    std::fprintf(stderr,
+                 "mecsc: ignoring %s=\"%s\" — not a plain non-negative "
+                 "integer\n",
+                 name, v);
+    return std::nullopt;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+/// `env_size_strict` with a fallback for unset/empty/rejected values.
+/// Note an explicit `0` is returned as 0, not mapped to the fallback.
+inline std::size_t env_size_or(const char* name, std::size_t fallback) {
+  return env_size_strict(name).value_or(fallback);
+}
+
+}  // namespace mecsc::common
+
+#endif  // MECSC_COMMON_ENV_H

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace mecsc::core {
 
@@ -20,6 +22,8 @@ constexpr double kDualTol = 1e-7;
 
 FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
                                            const std::vector<double>& theta) const {
+  MECSC_SPAN("frac.solve");
+  MECSC_COUNT("frac.solves", 1.0);
   const CachingProblem& p = *problem_;
   const std::size_t nr = p.num_requests();
   const std::size_t ns = p.num_stations();
@@ -144,6 +148,7 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
   while (width < ns && union_capacity() < 1.05 * total_flow) {
     width = std::min(ns, width * 2);
     expand_width(width);
+    MECSC_COUNT("frac.width_expansions", 1.0);
   }
 
   // --- Flow network --------------------------------------------------
@@ -211,6 +216,7 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
         rebuild_graph();
         graph_dirty = false;
       }
+      if (certify) MECSC_COUNT("mcf.pruning_rounds", 1.0);
       flow::FlowResult fr = s.mcf.solve(src, sink, total_flow);
       if (fr.flow < total_flow - 1e-6 * std::max(1.0, total_flow)) {
         if (width >= ns) {
@@ -219,6 +225,7 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
         }
         width = std::min(ns, width * 2);
         expand_width(width);
+        MECSC_COUNT("frac.width_expansions", 1.0);
         graph_dirty = true;
         continue;
       }
@@ -273,6 +280,8 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
         }
       }
       if (s.violations.empty()) break;
+      MECSC_COUNT("frac.violated_arcs_added",
+                  static_cast<double>(s.violations.size()));
       for (auto [l, i] : s.violations) {
         s.work[l].push_back(i);
         s.in_work[l * ns + i] = 1;
@@ -335,6 +344,7 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
     } else if (round > 0) {
       break;  // re-pricing converged (or started oscillating): stop early
     }
+    MECSC_COUNT("frac.repricing_rounds", 1.0);
     std::swap(s.inst_base, s.attracted);
   }
 
@@ -347,6 +357,14 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
     for (std::size_t i = 0; i < ns; ++i) {
       if (row[i] > 1e-12) s.warm[l].push_back(static_cast<std::uint32_t>(i));
     }
+  }
+
+  if (obs::enabled()) {
+    std::size_t working_arcs = 0;
+    for (std::size_t l = 0; l < nr; ++l) working_arcs += s.work[l].size();
+    obs::current()
+        .histogram("frac.working_arcs")
+        .observe(static_cast<double>(working_arcs));
   }
 
   FractionalSolution out;

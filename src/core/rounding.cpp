@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace mecsc::core {
 
@@ -59,6 +60,11 @@ Assignment round_assignment(const CachingProblem& problem,
                   "epsilon out of [0,1]");
 
   auto candi = candidate_sets(frac, options.gamma);
+  if (obs::enabled()) {
+    obs::Histogram& sizes =
+        obs::current().histogram("olgd.candidate_set_size");
+    for (const auto& c : candi) sizes.observe(static_cast<double>(c.size()));
+  }
 
   Assignment a;
   a.station_of_request.assign(nr, 0);
@@ -86,6 +92,14 @@ Assignment round_assignment(const CachingProblem& problem,
     }
     a.station_of_request[l] =
         others.empty() ? rng.index(ns) : others[rng.index(others.size())];
+  }
+  if (obs::enabled()) {
+    double explores = 0.0;
+    for (bool e : explored) explores += e ? 1.0 : 0.0;
+    obs::Registry& reg = obs::current();
+    reg.counter("olgd.explore_requests").add(explores);
+    reg.counter("olgd.exploit_requests")
+        .add(static_cast<double>(nr) - explores);
   }
 
   // Capacity repair: rounding (and exploration) can overload a station

@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace mecsc::flow {
 
@@ -78,6 +79,7 @@ FlowResult MinCostFlow::solve(std::size_t source, std::size_t sink,
 
   FlowResult result;
   double remaining = max_flow;
+  std::size_t arcs_scanned = 0;  // residual arcs relaxed across all passes
 
   // Small node counts (the caching reduction has |R| + |BS| + 2 nodes)
   // favour scanning a compact frontier of discovered nodes over a binary
@@ -120,6 +122,7 @@ FlowResult MinCostFlow::solve(std::size_t source, std::size_t sink,
           break;
         }
         double base = best + pot[u];
+        arcs_scanned += adj_head_[u + 1] - adj_head_[u];
         for (std::uint32_t at = adj_head_[u], end = adj_head_[u + 1]; at < end;
              ++at) {
           std::uint32_t a = adj_arc_[at];
@@ -148,6 +151,7 @@ FlowResult MinCostFlow::solve(std::size_t source, std::size_t sink,
           break;
         }
         double base = d + pot[u];
+        arcs_scanned += adj_head_[u + 1] - adj_head_[u];
         for (std::uint32_t at = adj_head_[u], end = adj_head_[u + 1]; at < end;
              ++at) {
           std::uint32_t a = adj_arc_[at];
@@ -199,6 +203,9 @@ FlowResult MinCostFlow::solve(std::size_t source, std::size_t sink,
   for (std::size_t id = 0; id < initial_capacity_.size(); ++id) {
     result.cost += edge_flow(id) * arc_cost_[2 * id];
   }
+  MECSC_COUNT("mcf.solves", 1.0);
+  MECSC_COUNT("mcf.augmentations", static_cast<double>(result.augmentations));
+  MECSC_COUNT("mcf.arcs_scanned", static_cast<double>(arcs_scanned));
   return result;
 }
 

@@ -8,6 +8,8 @@
 #include <string>
 
 #include "common/error.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace mecsc::gan {
 
@@ -108,6 +110,7 @@ Var mean_over_steps(const std::vector<Var>& losses) {
 
 GanStepStats InfoRnnGan::train_step(const std::vector<std::vector<double>>& windows,
                                     const std::vector<std::size_t>& codes) {
+  MECSC_SPAN("gan.train_step");
   MECSC_CHECK_MSG(!windows.empty(), "empty batch");
   MECSC_CHECK_MSG(windows.size() == codes.size(), "windows/codes size mismatch");
   const std::size_t batch = windows.size();
@@ -154,7 +157,8 @@ GanStepStats InfoRnnGan::train_step(const std::vector<std::vector<double>>& wind
     g_opt_->zero_grad();
     d_opt_->zero_grad();
     nn::backward(d_loss);
-    d_opt_->clip_grad_norm(config_.grad_clip);
+    double d_norm = d_opt_->clip_grad_norm(config_.grad_clip);
+    MECSC_HISTOGRAM("gan.grad_norm.d", d_norm);
     d_opt_->step();
     stats.d_loss = d_loss->value[0];
   }
@@ -185,12 +189,23 @@ GanStepStats InfoRnnGan::train_step(const std::vector<std::vector<double>>& wind
     g_opt_->zero_grad();
     d_opt_->zero_grad();  // trunk grads from this pass are discarded
     nn::backward(g_loss);
-    g_opt_->clip_grad_norm(config_.grad_clip);
+    double g_norm = g_opt_->clip_grad_norm(config_.grad_clip);
+    MECSC_HISTOGRAM("gan.grad_norm.g", g_norm);
     g_opt_->step();
     d_opt_->zero_grad();
     stats.g_adv_loss = adv->value[0];
     stats.info_loss = info->value[0];
     stats.supervised_loss = sup->value[0];
+  }
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::current();
+    reg.counter("gan.train_steps").inc();
+    reg.gauge("gan.d_loss").set(stats.d_loss);
+    reg.gauge("gan.g_adv_loss").set(stats.g_adv_loss);
+    reg.gauge("gan.info_loss").set(stats.info_loss);
+    reg.gauge("gan.supervised_loss").set(stats.supervised_loss);
+    reg.histogram("gan.d_loss_trajectory").observe(stats.d_loss);
+    reg.histogram("gan.g_adv_loss_trajectory").observe(stats.g_adv_loss);
   }
   return stats;
 }

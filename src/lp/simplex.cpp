@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
+
 namespace mecsc::lp {
 namespace {
 
@@ -117,10 +120,30 @@ Solution SimplexSolver::solve(const Model& model) const {
 
 Solution SimplexSolver::solve(const Model& model,
                               SimplexWorkspace& ws) const {
+  MECSC_SPAN("lp.solve");
   const std::size_t n = model.num_variables();
   const std::size_t m = model.num_constraints();
 
   Solution sol;
+  // Solve-outcome telemetry, recorded on every exit path (several early
+  // returns below). The derived warm-hit-rate gauge keeps the dump
+  // self-describing without a second pass over the counters.
+  struct SolveTelemetry {
+    const Solution* sol;
+    ~SolveTelemetry() {
+      if (!obs::enabled()) return;
+      obs::Registry& reg = obs::current();
+      reg.counter("simplex.solves").inc();
+      reg.counter("simplex.iterations")
+          .add(static_cast<double>(sol->iterations));
+      reg.counter(sol->warm_started ? "simplex.warm_start.hits"
+                                    : "simplex.warm_start.misses")
+          .inc();
+      double solves = reg.counter("simplex.solves").value();
+      double hits = reg.counter("simplex.warm_start.hits").value();
+      reg.gauge("simplex.warm_hit_rate").set(hits / solves);
+    }
+  } solve_telemetry{&sol};
   sol.x.assign(n, 0.0);
   if (m == 0) {
     // With x >= 0 and no constraints, any negative cost is unbounded.
@@ -252,6 +275,7 @@ Solution SimplexSolver::solve(const Model& model,
       }
       for (std::size_t j = t.first_artificial; j < t.cols; ++j) t.blocked[j] = 1;
     } else {
+      MECSC_COUNT("simplex.warm_start.fallbacks", 1.0);
       fill_tableau();
     }
   }
@@ -259,6 +283,7 @@ Solution SimplexSolver::solve(const Model& model,
 
   // --- Phase 1: minimise the sum of artificial variables. ---
   if (!warm && n_artificial > 0) {
+    MECSC_COUNT("simplex.phase1_runs", 1.0);
     std::fill(ws.cost.begin(), ws.cost.end(), 0.0);
     for (std::size_t j = t.first_artificial; j < t.cols; ++j) ws.cost[j] = 1.0;
     set_objective(t, ws.cost.data());

@@ -17,7 +17,7 @@ void Optimizer::zero_grad() {
   for (const auto& p : params_) p->zero_grad();
 }
 
-void Optimizer::clip_grad_norm(double max_norm) {
+double Optimizer::clip_grad_norm(double max_norm) {
   MECSC_CHECK_MSG(max_norm > 0.0, "max_norm must be > 0");
   double sq = 0.0;
   for (const auto& p : params_) {
@@ -25,12 +25,13 @@ void Optimizer::clip_grad_norm(double max_norm) {
     for (double g : p->grad.data()) sq += g * g;
   }
   double norm = std::sqrt(sq);
-  if (norm <= max_norm || norm == 0.0) return;
+  if (norm <= max_norm || norm == 0.0) return norm;
   double s = max_norm / norm;
   for (const auto& p : params_) {
     if (p->grad.empty()) continue;
     for (double& g : p->grad.data()) g *= s;
   }
+  return norm;
 }
 
 Sgd::Sgd(std::vector<Var> params, double lr, double momentum)

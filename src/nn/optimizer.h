@@ -18,8 +18,9 @@ class Optimizer {
   /// Clears accumulated gradients.
   void zero_grad();
   /// Rescales gradients so their global L2 norm is at most `max_norm`
-  /// (RNN training stabiliser).
-  void clip_grad_norm(double max_norm);
+  /// (RNN training stabiliser). Returns the pre-clip global norm — the
+  /// telemetry layer records it as the training-health signal.
+  double clip_grad_norm(double max_norm);
 
  protected:
   std::vector<Var> params_;

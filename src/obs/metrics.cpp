@@ -1,0 +1,303 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "common/error.h"
+
+namespace mecsc::obs {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+std::string series_key(std::string_view name, const Labels& labels) {
+  if (labels.empty()) return std::string(name);
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key(name);
+  key += '{';
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) key += ',';
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+// ---- Histogram --------------------------------------------------------
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  MECSC_CHECK_MSG(!bounds_.empty(), "histogram needs at least one bucket edge");
+  MECSC_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                  "histogram bucket edges must be sorted");
+  min_.store(kInf, std::memory_order_relaxed);
+  max_.store(-kInf, std::memory_order_relaxed);
+}
+
+const std::vector<double>& Histogram::default_bounds() {
+  static const std::vector<double> kBounds = {
+      1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2, 1e-1, 2.5e-1, 5e-1,
+      1.0,  2.5,    5.0,  10.0, 25.0,   50.0, 1e2,  2.5e2,  5e2,
+      1e3,  2.5e3,  5e3,  1e4};
+  return kBounds;
+}
+
+void Histogram::observe(double v) noexcept {
+  std::size_t b = static_cast<std::size_t>(
+      std::upper_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double Histogram::sum() const noexcept {
+  return sum_.load(std::memory_order_relaxed);
+}
+
+double Histogram::min() const noexcept {
+  return min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const noexcept {
+  return max_.load(std::memory_order_relaxed);
+}
+
+double Histogram::mean() const noexcept {
+  std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const {
+  MECSC_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile out of [0,1]");
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  // Rank (1-based) of the requested order statistic.
+  const double rank = q * static_cast<double>(n);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    std::uint64_t c = counts_[b].load(std::memory_order_relaxed);
+    if (c == 0) continue;
+    if (static_cast<double>(seen + c) >= rank) {
+      // Linear interpolation inside bucket b, clamped to observed range.
+      double lo = b == 0 ? min() : bounds_[b - 1];
+      double hi = b < bounds_.size() ? bounds_[b] : max();
+      lo = std::max(lo, min());
+      hi = std::min(hi, max());
+      if (hi < lo) return lo;
+      double frac = c == 0 ? 0.0
+                           : (rank - static_cast<double>(seen)) /
+                                 static_cast<double>(c);
+      frac = std::clamp(frac, 0.0, 1.0);
+      return lo + frac * (hi - lo);
+    }
+    seen += c;
+  }
+  return max();
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    out[b] = counts_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::merge_from(const Histogram& other) {
+  MECSC_CHECK_MSG(bounds_ == other.bounds_,
+                  "merging histograms with different bucket edges");
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b].fetch_add(other.counts_[b].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.count(), std::memory_order_relaxed);
+  atomic_add(sum_, other.sum());
+  atomic_min(min_, other.min());
+  atomic_max(max_, other.max());
+}
+
+// ---- Registry ---------------------------------------------------------
+
+Counter& Registry::counter(std::string_view name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (labels.empty()) {
+    auto it = counters_.find(name);
+    if (it != counters_.end()) return *it->second;
+  }
+  std::string key = series_key(name, labels);
+  auto& slot = counters_[std::move(key)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(std::string_view name, const Labels& labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (labels.empty()) {
+    auto it = gauges_.find(name);
+    if (it != gauges_.end()) return *it->second;
+  }
+  std::string key = series_key(name, labels);
+  auto& slot = gauges_[std::move(key)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(std::string_view name, const Labels& labels,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (labels.empty()) {
+    auto it = histograms_.find(name);
+    if (it != histograms_.end()) return *it->second;
+  }
+  std::string key = series_key(name, labels);
+  auto& slot = histograms_[std::move(key)];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(
+        bounds.empty() ? Histogram::default_bounds() : std::move(bounds));
+  }
+  return *slot;
+}
+
+void Registry::record_event(std::string json_line) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(json_line));
+}
+
+void Registry::merge_from(const Registry& other) {
+  // Snapshot `other` under its own lock first so the two registry locks
+  // are never held at the same time. The Histogram pointers stay valid
+  // after the lock is released: series are never removed while a merge
+  // is running (merges happen on the single merging thread).
+  auto counters = other.counters_snapshot();
+  auto gauges = other.gauges_snapshot();
+  auto events = other.events_snapshot();
+  std::vector<std::pair<std::string, const Histogram*>> hists;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    hists.reserve(other.histograms_.size());
+    for (const auto& [key, hist] : other.histograms_) {
+      hists.emplace_back(key, hist.get());
+    }
+  }
+  for (const auto& [key, value] : counters) counter(key).add(value);
+  for (const auto& [key, value] : gauges) gauge(key).set(value);
+  for (const auto& [key, hist] : hists) {
+    histogram(key, {}, hist->bounds()).merge_from(*hist);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.insert(events_.end(), std::make_move_iterator(events.begin()),
+                 std::make_move_iterator(events.end()));
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  events_.clear();
+}
+
+std::vector<std::pair<std::string, double>> Registry::counters_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(counters_.size());
+  for (const auto& [key, c] : counters_) out.emplace_back(key, c->value());
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> Registry::gauges_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [key, g] : gauges_) out.emplace_back(key, g->value());
+  return out;
+}
+
+std::vector<HistogramSnapshot> Registry::histograms_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<HistogramSnapshot> out;
+  out.reserve(histograms_.size());
+  for (const auto& [key, h] : histograms_) {
+    HistogramSnapshot s;
+    s.key = key;
+    s.count = h->count();
+    if (s.count > 0) {
+      s.sum = h->sum();
+      s.min = h->min();
+      s.max = h->max();
+      s.p50 = h->quantile(0.50);
+      s.p90 = h->quantile(0.90);
+      s.p99 = h->quantile(0.99);
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<std::string> Registry::events_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+bool Registry::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.empty() && gauges_.empty() && histograms_.empty() &&
+         events_.empty();
+}
+
+// ---- Default / current registry ---------------------------------------
+
+Registry& default_registry() {
+  static Registry registry;
+  return registry;
+}
+
+namespace {
+thread_local Registry* t_current = nullptr;
+}  // namespace
+
+Registry& current() {
+  return t_current != nullptr ? *t_current : default_registry();
+}
+
+ScopedRegistry::ScopedRegistry(Registry* registry) noexcept : prev_(t_current) {
+  t_current = registry;
+}
+
+ScopedRegistry::~ScopedRegistry() { t_current = prev_; }
+
+}  // namespace mecsc::obs

@@ -1,0 +1,221 @@
+#ifndef MECSC_OBS_METRICS_H
+#define MECSC_OBS_METRICS_H
+
+// Metrics registry of the mecsc::obs subsystem (DESIGN.md
+// "Observability"): counters, gauges, and fixed-bucket histograms,
+// addressable by name + label set.
+//
+// Concurrency model:
+//  * Instrument handles (Counter/Gauge/Histogram) are lock-free once
+//    obtained — increments from any number of threads sum exactly
+//    (CAS loops on atomic doubles, atomic bucket counts).
+//  * Creation / lookup takes the registry mutex; hot code paths call an
+//    instrument once per solve or per slot, not per inner-loop
+//    iteration, so the lookup cost is invisible next to the work it
+//    measures.
+//  * Storage is an ordered map, so every export and merge walks the
+//    series in one deterministic (lexicographic) order.
+//
+// Determinism contract (matches sim::run_replications): each
+// replication records into its own child registry (see ScopedRegistry);
+// the runner merges children into the parent sequentially in ascending
+// replication order, so floating-point sums accumulate in the same
+// order regardless of MECSC_WORKERS and the merged registry is bitwise
+// identical to a sequential run.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace mecsc::obs {
+
+/// Label set of a metric series, e.g. {{"arm", "3"}}. Kept sorted by key
+/// when canonicalised into the series name.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Canonical series key: `name` for an empty label set, else
+/// `name{k1=v1,k2=v2}` with keys sorted.
+std::string series_key(std::string_view name, const Labels& labels);
+
+/// Monotonically increasing sum. Exact under concurrent `add`s.
+class Counter {
+ public:
+  void add(double delta) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + delta,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  void inc() noexcept { add(1.0); }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Last-written value (ε trajectory, current loss, derived rates).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram with p50/p90/p99 queries.
+///
+/// `bounds` are the inclusive upper edges of the first `bounds.size()`
+/// buckets; one implicit overflow bucket follows. Quantiles interpolate
+/// linearly inside the selected bucket (clamped to the observed
+/// min/max), so their resolution is the bucket width — adequate for the
+/// timing and size distributions recorded here.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  /// Default edges: 1–2.5–5 decades from 1e-3 to 1e4 — microseconds to
+  /// tens of seconds when observations are milliseconds, and unit
+  /// resolution for small integer sizes.
+  static const std::vector<double>& default_bounds();
+
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept;
+  double sum() const noexcept;
+  double min() const noexcept;  // +inf when empty
+  double max() const noexcept;  // -inf when empty
+  double mean() const noexcept;
+  /// q in [0, 1]; returns 0 when the histogram is empty.
+  double quantile(double q) const;
+
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Bucket counts (bounds().size() + 1 entries, overflow last).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Adds `other`'s observations (same bounds required).
+  void merge_from(const Histogram& other);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// Point-in-time view of a histogram, as used by the exporters.
+struct HistogramSnapshot {
+  std::string key;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Named collection of metric series plus (in full mode) a structured
+/// event log. See the file comment for the concurrency/determinism
+/// contract.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create. References stay valid for the registry's lifetime.
+  Counter& counter(std::string_view name, const Labels& labels = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {});
+  /// `bounds` applies on first creation only (empty = default bounds).
+  Histogram& histogram(std::string_view name, const Labels& labels = {},
+                       std::vector<double> bounds = {});
+
+  /// Appends one pre-formatted JSON object line to the event log
+  /// (recorded by instrumentation only in full mode).
+  void record_event(std::string json_line);
+
+  /// Folds `other` into this registry: counters add, gauges take
+  /// `other`'s value, histograms merge bucket-wise, events append.
+  /// Callers are responsible for invoking merges in a deterministic
+  /// order (sim::run_replications merges children in rep order).
+  void merge_from(const Registry& other);
+
+  /// Drops every series and event.
+  void clear();
+
+  // Deterministically ordered snapshots for the exporters.
+  std::vector<std::pair<std::string, double>> counters_snapshot() const;
+  std::vector<std::pair<std::string, double>> gauges_snapshot() const;
+  std::vector<HistogramSnapshot> histograms_snapshot() const;
+  std::vector<std::string> events_snapshot() const;
+
+  bool empty() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  std::vector<std::string> events_;
+};
+
+/// Process-global default registry.
+Registry& default_registry();
+
+/// Registry the calling thread currently records into: the innermost
+/// active ScopedRegistry on this thread, else the default registry.
+Registry& current();
+
+/// Redirects this thread's `current()` to `registry` for the scope's
+/// lifetime (per-replication child registries in sim::run_replications).
+class ScopedRegistry {
+ public:
+  explicit ScopedRegistry(Registry* registry) noexcept;
+  ~ScopedRegistry();
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+
+ private:
+  Registry* prev_;
+};
+
+}  // namespace mecsc::obs
+
+// ---- Instrumentation macros -------------------------------------------
+// Every macro opens with the inlined `obs::enabled()` guard, so with
+// MECSC_TELEMETRY=off the expansion is one relaxed atomic load and a
+// branch — no lookup, no clock read, no allocation.
+
+#include "obs/telemetry.h"
+
+/// Adds `delta` to counter `name` in the current registry.
+#define MECSC_COUNT(name, delta)                            \
+  do {                                                      \
+    if (::mecsc::obs::enabled())                            \
+      ::mecsc::obs::current().counter(name).add(delta);     \
+  } while (false)
+
+/// Sets gauge `name` in the current registry.
+#define MECSC_GAUGE_SET(name, value)                        \
+  do {                                                      \
+    if (::mecsc::obs::enabled())                            \
+      ::mecsc::obs::current().gauge(name).set(value);       \
+  } while (false)
+
+/// Observes `value` into histogram `name` in the current registry.
+#define MECSC_HISTOGRAM(name, value)                        \
+  do {                                                      \
+    if (::mecsc::obs::enabled())                            \
+      ::mecsc::obs::current().histogram(name).observe(value); \
+  } while (false)
+
+#endif  // MECSC_OBS_METRICS_H

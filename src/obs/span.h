@@ -1,0 +1,109 @@
+#ifndef MECSC_OBS_SPAN_H
+#define MECSC_OBS_SPAN_H
+
+// Scoped tracing spans (DESIGN.md "Observability").
+//
+// Two flavours, both RAII built on common::Stopwatch:
+//
+//  * MECSC_SPAN("lp.solve") — ambient span: when telemetry is enabled,
+//    scope-exit observes the elapsed milliseconds into histogram
+//    `span.lp.solve` of the thread's current registry. With telemetry
+//    off the constructor is the inlined level guard and nothing else.
+//
+//  * TimelineSpan — explicit span writing into a SlotTimeline. NOT
+//    gated on the telemetry level: sim::Simulator uses it to time every
+//    slot's decide/score/observe phases, and SlotRecord::decision_time_ms
+//    is derived from the recorded "algo.decide" entry, so the phase
+//    clocks must run even when telemetry is off (they replace the
+//    Stopwatch the simulator always paid for anyway).
+
+#include <string_view>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
+namespace mecsc::obs {
+
+/// One completed span. `name` must point at a string with static
+/// storage duration (all instrumentation sites pass literals).
+struct SpanEvent {
+  const char* name = nullptr;
+  double ms = 0.0;
+};
+
+/// Ordered span timeline of one simulated slot.
+class SlotTimeline {
+ public:
+  void record(const char* name, double ms) { events_.push_back({name, ms}); }
+
+  const std::vector<SpanEvent>& events() const noexcept { return events_; }
+
+  /// Total milliseconds of all spans named `name` (0 when absent).
+  double ms_of(std::string_view name) const noexcept {
+    double total = 0.0;
+    for (const auto& e : events_) {
+      if (name == e.name) total += e.ms;
+    }
+    return total;
+  }
+
+ private:
+  std::vector<SpanEvent> events_;
+};
+
+/// RAII span appending to an explicit timeline (nullptr = disabled).
+class TimelineSpan {
+ public:
+  TimelineSpan(SlotTimeline* timeline, const char* name) noexcept
+      : timeline_(timeline), name_(name) {}
+  ~TimelineSpan() {
+    if (timeline_ != nullptr) timeline_->record(name_, watch_.elapsed_ms());
+  }
+  TimelineSpan(const TimelineSpan&) = delete;
+  TimelineSpan& operator=(const TimelineSpan&) = delete;
+
+ private:
+  SlotTimeline* timeline_;
+  const char* name_;
+  common::Stopwatch watch_;
+};
+
+/// RAII span recording into histogram `span.<name>` of the thread's
+/// current registry when telemetry is enabled. `prefixed_name` must be
+/// the full series name (the MECSC_SPAN macro prepends "span.") and
+/// outlive the span (string literals do).
+class Span {
+ public:
+  explicit Span(const char* prefixed_name) noexcept {
+    if (enabled()) {
+      name_ = prefixed_name;
+      watch_.restart();
+    }
+  }
+  ~Span() {
+    if (name_ != nullptr) {
+      current().histogram(name_).observe(watch_.elapsed_ms());
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  common::Stopwatch watch_;
+};
+
+}  // namespace mecsc::obs
+
+#define MECSC_OBS_CONCAT2(a, b) a##b
+#define MECSC_OBS_CONCAT(a, b) MECSC_OBS_CONCAT2(a, b)
+
+/// Times the enclosing scope into histogram `span.<name>` of the
+/// current registry (no-op when telemetry is off). `name` must be a
+/// string literal, e.g. MECSC_SPAN("lp.solve").
+#define MECSC_SPAN(name) \
+  ::mecsc::obs::Span MECSC_OBS_CONCAT(mecsc_obs_span_, __LINE__)("span." name)
+
+#endif  // MECSC_OBS_SPAN_H

@@ -1,0 +1,42 @@
+#include "obs/telemetry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mecsc::obs {
+
+namespace detail {
+
+int parse_level_from_env() {
+  int parsed = static_cast<int>(Level::kOff);
+  if (const char* v = std::getenv("MECSC_TELEMETRY");
+      v != nullptr && *v != '\0') {
+    if (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0) {
+      parsed = static_cast<int>(Level::kOff);
+    } else if (std::strcmp(v, "summary") == 0) {
+      parsed = static_cast<int>(Level::kSummary);
+    } else if (std::strcmp(v, "full") == 0) {
+      parsed = static_cast<int>(Level::kFull);
+    } else {
+      std::fprintf(stderr,
+                   "mecsc: ignoring MECSC_TELEMETRY=\"%s\" "
+                   "(expected off|summary|full)\n",
+                   v);
+    }
+  }
+  // Another thread may have parsed (or set_level) concurrently; the
+  // value is the same either way for the env path, and set_level wins.
+  int expected = -1;
+  g_level.compare_exchange_strong(expected, parsed,
+                                  std::memory_order_relaxed);
+  return g_level.load(std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+void set_level(Level level) noexcept {
+  detail::g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+}  // namespace mecsc::obs

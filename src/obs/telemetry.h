@@ -1,0 +1,53 @@
+#ifndef MECSC_OBS_TELEMETRY_H
+#define MECSC_OBS_TELEMETRY_H
+
+// Telemetry level switch for the mecsc::obs subsystem (DESIGN.md
+// "Observability").
+//
+// The level is read once from MECSC_TELEMETRY (off | summary | full,
+// default off) and cached in an inline atomic, so the hot-path guard
+// every instrumentation macro starts with is a single relaxed load plus
+// a compare — when telemetry is off nothing else runs: no registry
+// lookup, no clock read, no allocation (tests/test_obs.cpp asserts the
+// off path allocates nothing; bench_perf measures its cost).
+//
+// * off     — instrumentation compiles to the guard only.
+// * summary — counters / gauges / histograms are recorded and exported
+//             as an end-of-process dump.
+// * full    — summary plus the per-slot structured event stream (JSONL).
+//
+// `set_level` exists for tests and embedding programs; it overrides the
+// environment for the rest of the process.
+
+#include <atomic>
+
+namespace mecsc::obs {
+
+enum class Level : int { kOff = 0, kSummary = 1, kFull = 2 };
+
+namespace detail {
+/// -1 = not yet parsed from the environment.
+inline std::atomic<int> g_level{-1};
+/// Parses MECSC_TELEMETRY, stores and returns the result.
+int parse_level_from_env();
+}  // namespace detail
+
+/// Current telemetry level (lazily parsed from MECSC_TELEMETRY).
+inline Level level() noexcept {
+  int l = detail::g_level.load(std::memory_order_relaxed);
+  if (l < 0) l = detail::parse_level_from_env();
+  return static_cast<Level>(l);
+}
+
+/// Overrides the level for the rest of the process (tests, embedders).
+void set_level(Level level) noexcept;
+
+/// True when any telemetry (summary or full) is recorded.
+inline bool enabled() noexcept { return level() != Level::kOff; }
+
+/// True when the structured per-slot event stream is recorded too.
+inline bool full_enabled() noexcept { return level() == Level::kFull; }
+
+}  // namespace mecsc::obs
+
+#endif  // MECSC_OBS_TELEMETRY_H

@@ -22,8 +22,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
-#include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -31,15 +31,18 @@
 #include <utility>
 #include <vector>
 
+#include "common/env.h"
+#include "obs/metrics.h"
+#include "obs/telemetry.h"
+
 namespace mecsc::sim {
 
-/// Worker count for replication fan-out: MECSC_WORKERS when set, else
-/// hardware concurrency (min 1).
+/// Worker count for replication fan-out: MECSC_WORKERS when set and
+/// positive, else hardware concurrency (min 1).
 inline std::size_t replication_workers() {
-  if (const char* v = std::getenv("MECSC_WORKERS"); v != nullptr && *v != '\0') {
-    char* end = nullptr;
-    unsigned long long parsed = std::strtoull(v, &end, 10);
-    if (end != v && parsed > 0) return static_cast<std::size_t>(parsed);
+  if (auto parsed = common::env_size_strict("MECSC_WORKERS");
+      parsed.has_value() && *parsed > 0) {
+    return *parsed;
   }
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);
@@ -50,17 +53,42 @@ inline std::size_t replication_workers() {
 /// ascending rep order. With one worker (or one replication) it
 /// degenerates to the plain sequential loop. Exceptions thrown by a body
 /// are rethrown here after the pool joins.
+///
+/// Telemetry: when MECSC_TELEMETRY is on, each body records into its
+/// own child obs::Registry (installed as the thread-current registry for
+/// the body's duration), and the children are folded into the caller's
+/// registry in ascending rep order right before the rep's merge
+/// callback. Sequential and parallel runs therefore accumulate every
+/// floating-point sum in the same order — the merged registry, like the
+/// merged statistics, is bitwise independent of MECSC_WORKERS.
 template <typename Body, typename Merge>
 void run_replications(std::size_t count, Body&& body, Merge&& merge) {
   using Result = std::invoke_result_t<Body&, std::size_t>;
   static_assert(!std::is_void_v<Result>,
                 "replication body must return its per-rep result by value");
 
+  const bool telemetry = obs::enabled();
+  std::vector<std::unique_ptr<obs::Registry>> registries(telemetry ? count : 0);
+  auto run_body = [&](std::size_t rep) -> Result {
+    if (!telemetry) return body(rep);
+    registries[rep] = std::make_unique<obs::Registry>();
+    obs::ScopedRegistry scope(registries[rep].get());
+    return body(rep);
+  };
+  // Folding a rep's telemetry happens with the rep's user merge, on the
+  // calling thread, in rep order — in both the sequential and the
+  // parallel path below.
+  obs::Registry* parent = telemetry ? &obs::current() : nullptr;
+  auto merge_rep = [&](std::size_t rep, Result& r) {
+    if (telemetry) parent->merge_from(*registries[rep]);
+    merge(rep, r);
+  };
+
   const std::size_t workers = std::min(count, replication_workers());
   if (workers <= 1) {
     for (std::size_t rep = 0; rep < count; ++rep) {
-      Result r = body(rep);
-      merge(rep, r);
+      Result r = run_body(rep);
+      merge_rep(rep, r);
     }
     return;
   }
@@ -78,7 +106,7 @@ void run_replications(std::size_t count, Body&& body, Merge&& merge) {
           std::size_t rep = next.fetch_add(1, std::memory_order_relaxed);
           if (rep >= count) return;
           try {
-            results[rep].emplace(body(rep));
+            results[rep].emplace(run_body(rep));
           } catch (...) {
             std::lock_guard<std::mutex> lock(error_mu);
             if (!error) error = std::current_exception();
@@ -91,7 +119,7 @@ void run_replications(std::size_t count, Body&& body, Merge&& merge) {
   if (error) std::rethrow_exception(error);
 
   for (std::size_t rep = 0; rep < count; ++rep) {
-    merge(rep, *results[rep]);
+    merge_rep(rep, *results[rep]);
   }
 }
 

@@ -1,9 +1,11 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/error.h"
-#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace mecsc::sim {
 
@@ -75,28 +77,67 @@ RunResult Simulator::run(algorithms::CachingAlgorithm& algorithm) const {
   std::optional<core::RegretTracker> regret;
   if (track_regret_) regret.emplace(*problem_);
 
+  const bool telemetry = obs::enabled();
   std::vector<std::vector<bool>> prev_cached;  // empty at slot 0
   for (std::size_t t = 0; t < horizon_; ++t) {
     if (before_slot_) before_slot_(t);
-    common::Stopwatch watch;
-    core::Assignment decision = algorithm.decide(t);
-    double decision_ms = watch.elapsed_ms();
+    // Every slot's phases are timed into its span timeline; the record's
+    // decision_time_ms is derived from the "algo.decide" span so the two
+    // sources can never disagree.
+    auto timeline = std::make_shared<obs::SlotTimeline>();
+    core::Assignment decision;
+    {
+      obs::TimelineSpan span(timeline.get(), "algo.decide");
+      decision = algorithm.decide(t);
+    }
 
     std::vector<double> truth = demands_->slot(t);
     const std::vector<double>& delays = unit_delays_[t];
 
     SlotRecord rec;
-    rec.decision_time_ms = decision_ms;
-    rec.avg_delay_ms =
-        core::realized_average_delay(*problem_, decision, truth, delays);
-    rec.avg_delay_incremental_ms = core::realized_average_delay_incremental(
-        *problem_, decision, prev_cached, truth, delays);
-    rec.capacity_violation_mhz = core::capacity_violation(*problem_, decision, truth);
+    {
+      obs::TimelineSpan span(timeline.get(), "sim.score");
+      rec.avg_delay_ms =
+          core::realized_average_delay(*problem_, decision, truth, delays);
+      rec.avg_delay_incremental_ms = core::realized_average_delay_incremental(
+          *problem_, decision, prev_cached, truth, delays);
+      rec.capacity_violation_mhz =
+          core::capacity_violation(*problem_, decision, truth);
+    }
+    rec.decision_time_ms = timeline->ms_of("algo.decide");
+    rec.timeline = timeline;
     result.slots.push_back(rec);
     prev_cached = decision.cached;
 
-    if (regret) regret->record(rec.avg_delay_ms, truth, delays);
-    algorithm.observe(t, decision, truth, delays);
+    {
+      obs::TimelineSpan span(timeline.get(), "sim.observe");
+      if (regret) regret->record(rec.avg_delay_ms, truth, delays);
+      algorithm.observe(t, decision, truth, delays);
+    }
+
+    if (telemetry) {
+      obs::Registry& reg = obs::current();
+      for (const auto& e : timeline->events()) {
+        reg.histogram(std::string("span.") + e.name).observe(e.ms);
+      }
+      reg.counter("sim.slots").inc();
+      if (obs::full_enabled()) {
+        std::ostringstream ev;
+        ev << "{\"type\":\"slot\",\"algo\":\"" << result.algorithm
+           << "\",\"t\":" << t << ",\"avg_delay_ms\":" << rec.avg_delay_ms
+           << ",\"decision_time_ms\":" << rec.decision_time_ms
+           << ",\"capacity_violation_mhz\":" << rec.capacity_violation_mhz
+           << ",\"phases\":{";
+        bool first = true;
+        for (const auto& e : timeline->events()) {
+          if (!first) ev << ',';
+          first = false;
+          ev << '"' << e.name << "\":" << e.ms;
+        }
+        ev << "}}";
+        reg.record_event(ev.str());
+      }
+    }
   }
   if (regret) result.cumulative_regret = regret->cumulative_series();
   return result;

@@ -2,6 +2,7 @@
 #define MECSC_SIM_SIMULATOR_H
 
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "algorithms/algorithm.h"
 #include "core/problem.h"
 #include "core/regret.h"
+#include "obs/span.h"
 #include "workload/demand_model.h"
 
 namespace mecsc::sim {
@@ -20,8 +22,15 @@ struct SlotRecord {
   /// cached this slot (operational accounting; see
   /// realized_average_delay_incremental).
   double avg_delay_incremental_ms = 0.0;
-  double decision_time_ms = 0.0;    // wall-clock of the algorithm's decide()
+  /// Wall-clock of the algorithm's decide() — derived from the
+  /// timeline's "algo.decide" span, so the two can never disagree.
+  double decision_time_ms = 0.0;
   double capacity_violation_mhz = 0.0;
+  /// Span timeline of this slot's phases (algo.decide / sim.score /
+  /// sim.observe) — the structured replacement for bolting further
+  /// ad-hoc timing doubles onto this record. Always present after a
+  /// Simulator::run; null only for hand-built records (e.g. in tests).
+  std::shared_ptr<const obs::SlotTimeline> timeline;
 };
 
 /// Result of running one algorithm over the horizon.

@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
 
+#include "common/env.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/stopwatch.h"
@@ -260,6 +262,44 @@ TEST(Table, CsvEscapesCommas) {
 TEST(Table, RejectsArityMismatch) {
   Table t({"a", "b"});
   EXPECT_THROW(t.add_row({"only-one"}), std::exception);
+}
+
+TEST(EnvSize, UnsetAndEmptyYieldNullopt) {
+  ::unsetenv("MECSC_TEST_ENV");
+  EXPECT_FALSE(env_size_strict("MECSC_TEST_ENV").has_value());
+  EXPECT_EQ(env_size_or("MECSC_TEST_ENV", 7u), 7u);
+  ::setenv("MECSC_TEST_ENV", "", 1);
+  EXPECT_FALSE(env_size_strict("MECSC_TEST_ENV").has_value());
+  ::unsetenv("MECSC_TEST_ENV");
+}
+
+TEST(EnvSize, ParsesPlainIntegers) {
+  ::setenv("MECSC_TEST_ENV", "42", 1);
+  auto v = env_size_strict("MECSC_TEST_ENV");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42u);
+  EXPECT_EQ(env_size_or("MECSC_TEST_ENV", 7u), 42u);
+  ::unsetenv("MECSC_TEST_ENV");
+}
+
+TEST(EnvSize, ExplicitZeroIsZeroNotFallback) {
+  ::setenv("MECSC_TEST_ENV", "0", 1);
+  auto v = env_size_strict("MECSC_TEST_ENV");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 0u);
+  EXPECT_EQ(env_size_or("MECSC_TEST_ENV", 7u), 0u);
+  ::unsetenv("MECSC_TEST_ENV");
+}
+
+TEST(EnvSize, RejectsTrailingGarbageAndNonNumeric) {
+  ::setenv("MECSC_TEST_ENV", "10abc", 1);
+  EXPECT_FALSE(env_size_strict("MECSC_TEST_ENV").has_value());
+  EXPECT_EQ(env_size_or("MECSC_TEST_ENV", 7u), 7u);  // fallback, not 10
+  ::setenv("MECSC_TEST_ENV", "abc", 1);
+  EXPECT_FALSE(env_size_strict("MECSC_TEST_ENV").has_value());
+  ::setenv("MECSC_TEST_ENV", "1.5", 1);
+  EXPECT_FALSE(env_size_strict("MECSC_TEST_ENV").has_value());
+  ::unsetenv("MECSC_TEST_ENV");
 }
 
 TEST(Fmt, FixedPrecision) {

@@ -1,0 +1,313 @@
+// Unit tests for the mecsc::obs telemetry subsystem: histogram quantile
+// correctness, exact concurrent counters, deterministic replication
+// merges (MECSC_WORKERS=1 vs 8), exporter formats, and the guarantee
+// that the disabled macro path performs no allocation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <new>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/telemetry.h"
+#include "sim/replication.h"
+
+// ---- Allocation counter -------------------------------------------------
+// Replacement global operator new/delete counting every heap allocation
+// in this binary. The telemetry-off test asserts the disabled macro path
+// allocates nothing; everything else ignores the counter.
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mecsc::obs {
+namespace {
+
+TEST(SeriesKey, CanonicalisesAndSortsLabels) {
+  EXPECT_EQ(series_key("simplex.iterations", {}), "simplex.iterations");
+  EXPECT_EQ(series_key("olgd.arm_pulls", {{"arm", "3"}}),
+            "olgd.arm_pulls{arm=3}");
+  EXPECT_EQ(series_key("x", {{"b", "2"}, {"a", "1"}}), "x{a=1,b=2}");
+}
+
+TEST(Histogram, QuantilesMatchKnownDistribution) {
+  // Unit-width buckets over [0, 100]: interpolation error is bounded by
+  // one bucket width.
+  std::vector<double> bounds;
+  for (int i = 0; i <= 100; ++i) bounds.push_back(static_cast<double>(i));
+  Histogram h(bounds);
+  for (int v = 1; v <= 100; ++v) h.observe(static_cast<double>(v));
+
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+  EXPECT_NEAR(h.quantile(0.50), 50.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.90), 90.0, 1.0);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.0);
+  // Quantiles never escape the observed range.
+  EXPECT_GE(h.quantile(0.0), 1.0);
+  EXPECT_LE(h.quantile(1.0), 100.0);
+}
+
+TEST(Histogram, EmptyAndOverflow) {
+  Histogram h({1.0, 10.0});
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  h.observe(1e9);  // overflow bucket
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.bucket_counts().back(), 1u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1e9);  // clamped to observed max
+}
+
+TEST(Histogram, MergeAddsBucketwise) {
+  Histogram a({1.0, 2.0, 3.0});
+  Histogram b({1.0, 2.0, 3.0});
+  a.observe(0.5);
+  b.observe(2.5);
+  b.observe(10.0);
+  a.merge_from(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max(), 10.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 13.0);
+}
+
+TEST(Counter, ConcurrentIncrementsSumExactly) {
+  Registry reg;
+  Counter& c = reg.counter("test.concurrent");
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIncs = 100000;
+  {
+    std::vector<std::jthread> pool;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      pool.emplace_back([&c]() {
+        for (std::size_t i = 0; i < kIncs; ++i) c.inc();
+      });
+    }
+  }
+  EXPECT_DOUBLE_EQ(c.value(),
+                   static_cast<double>(kThreads) * static_cast<double>(kIncs));
+}
+
+TEST(Registry, MergeSemantics) {
+  Registry a;
+  Registry b;
+  a.counter("c").add(1.5);
+  b.counter("c").add(2.5);
+  b.counter("only_b").add(7.0);
+  a.gauge("g").set(1.0);
+  b.gauge("g").set(9.0);
+  a.record_event("{\"a\":1}");
+  b.record_event("{\"b\":2}");
+  a.merge_from(b);
+
+  EXPECT_DOUBLE_EQ(a.counter("c").value(), 4.0);
+  EXPECT_DOUBLE_EQ(a.counter("only_b").value(), 7.0);
+  EXPECT_DOUBLE_EQ(a.gauge("g").value(), 9.0);  // gauges take other's value
+  auto events = a.events_snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], "{\"a\":1}");
+  EXPECT_EQ(events[1], "{\"b\":2}");
+}
+
+TEST(Registry, ScopedRegistryRedirectsCurrent) {
+  set_level(Level::kSummary);
+  Registry local;
+  EXPECT_NE(&current(), &local);
+  {
+    ScopedRegistry scope(&local);
+    EXPECT_EQ(&current(), &local);
+    MECSC_COUNT("scoped.hits", 2.0);
+  }
+  EXPECT_NE(&current(), &local);
+  EXPECT_DOUBLE_EQ(local.counter("scoped.hits").value(), 2.0);
+}
+
+// Runs the replication fan-out with a parent registry installed and
+// returns deterministic per-series snapshots of the merged result.
+void run_replicated_workload(Registry& parent) {
+  ScopedRegistry scope(&parent);
+  double sink = 0.0;
+  sim::run_replications(
+      12,
+      [](std::size_t rep) -> double {
+        // Non-trivially-ordered floating point: only a fixed merge order
+        // reproduces these sums bitwise.
+        const double x = 0.1 * static_cast<double>(rep + 1) +
+                         1e-9 * static_cast<double>(rep * rep);
+        MECSC_COUNT("rep.work", x);
+        MECSC_HISTOGRAM("rep.values", x);
+        MECSC_GAUGE_SET("rep.last", x);
+        obs::current()
+            .counter("rep.tagged", {{"rep", std::to_string(rep % 3)}})
+            .add(x * x);
+        return x;
+      },
+      [&](std::size_t, double& r) { sink += r; });
+  parent.gauge("rep.sink").set(sink);
+}
+
+TEST(Replication, MergedTelemetryIdenticalAcrossWorkerCounts) {
+  set_level(Level::kSummary);
+
+  ::setenv("MECSC_WORKERS", "1", 1);
+  Registry seq;
+  run_replicated_workload(seq);
+
+  ::setenv("MECSC_WORKERS", "8", 1);
+  Registry par;
+  run_replicated_workload(par);
+  ::unsetenv("MECSC_WORKERS");
+
+  auto sc = seq.counters_snapshot();
+  auto pc = par.counters_snapshot();
+  ASSERT_EQ(sc.size(), pc.size());
+  for (std::size_t i = 0; i < sc.size(); ++i) {
+    EXPECT_EQ(sc[i].first, pc[i].first);
+    EXPECT_EQ(sc[i].second, pc[i].second)  // bitwise: same summation order
+        << sc[i].first;
+  }
+  auto sg = seq.gauges_snapshot();
+  auto pg = par.gauges_snapshot();
+  ASSERT_EQ(sg.size(), pg.size());
+  for (std::size_t i = 0; i < sg.size(); ++i) {
+    EXPECT_EQ(sg[i].first, pg[i].first);
+    EXPECT_EQ(sg[i].second, pg[i].second) << sg[i].first;
+  }
+  // Whole-dump equality covers histograms and ordering too.
+  std::ostringstream sdump;
+  std::ostringstream pdump;
+  write_jsonl(seq, sdump);
+  write_jsonl(par, pdump);
+  EXPECT_EQ(sdump.str(), pdump.str());
+}
+
+TEST(Telemetry, DisabledMacrosDoNotAllocate) {
+  set_level(Level::kOff);
+  ASSERT_FALSE(enabled());
+  const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    MECSC_COUNT("off.counter", 1.0);
+    MECSC_GAUGE_SET("off.gauge", static_cast<double>(i));
+    MECSC_HISTOGRAM("off.hist", static_cast<double>(i));
+    MECSC_SPAN("off.span");
+  }
+  const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(before, after);
+  set_level(Level::kSummary);
+}
+
+TEST(Export, JsonlEmitsEventsThenSeries) {
+  set_level(Level::kSummary);
+  Registry reg;
+  reg.record_event("{\"type\":\"slot\",\"t\":0}");
+  reg.counter("simplex.iterations").add(1234567.0);
+  reg.gauge("simplex.warm_hit_rate").set(0.75);
+  reg.histogram("span.lp.solve").observe(1.25);
+
+  std::ostringstream out;
+  write_jsonl(reg, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("{\"type\":\"slot\",\"t\":0}"), std::string::npos);
+  // Full precision survives export (no 1.23457e+06 truncation).
+  EXPECT_NE(s.find("\"series\":\"simplex.iterations\",\"value\":1234567"),
+            std::string::npos);
+  EXPECT_NE(s.find("simplex.warm_hit_rate"), std::string::npos);
+  EXPECT_NE(s.find("span.lp.solve"), std::string::npos);
+  // Events come before series lines.
+  EXPECT_LT(s.find("\"type\":\"slot\""), s.find("simplex.iterations"));
+}
+
+TEST(Export, PrometheusMapsDotsToUnderscores) {
+  Registry reg;
+  reg.counter("mcf.arcs_scanned").add(42.0);
+  reg.histogram("span.frac.solve").observe(2.0);
+  std::ostringstream out;
+  write_prometheus(reg, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("mcf_arcs_scanned 42"), std::string::npos);
+  EXPECT_NE(s.find("span_frac_solve_count"), std::string::npos);
+  EXPECT_EQ(s.find("mcf.arcs_scanned"), std::string::npos);
+}
+
+TEST(Export, CsvHasHeaderAndRows) {
+  Registry reg;
+  reg.counter("olgd.decides").add(3.0);
+  std::ostringstream out;
+  write_csv(reg, out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("kind,series,count"), std::string::npos);
+  EXPECT_NE(s.find("counter,olgd.decides"), std::string::npos);
+}
+
+TEST(Export, FormatForPath) {
+  EXPECT_EQ(format_for_path("x.prom"), ExportFormat::kPrometheus);
+  EXPECT_EQ(format_for_path("x.txt"), ExportFormat::kPrometheus);
+  EXPECT_EQ(format_for_path("x.csv"), ExportFormat::kCsv);
+  EXPECT_EQ(format_for_path("x.jsonl"), ExportFormat::kJsonl);
+  EXPECT_EQ(format_for_path("plain"), ExportFormat::kJsonl);
+}
+
+TEST(Export, DumpIsNoopWhenOffOrEmpty) {
+  Registry reg;
+  std::ostringstream out;
+  set_level(Level::kOff);
+  reg.counter("c").inc();
+  EXPECT_FALSE(dump(reg, out));
+  set_level(Level::kSummary);
+  Registry empty;
+  EXPECT_FALSE(dump(empty, out));
+  EXPECT_TRUE(out.str().empty());
+  EXPECT_TRUE(dump(reg, out));
+  EXPECT_FALSE(out.str().empty());
+}
+
+TEST(Span, RecordsIntoCurrentRegistryWhenEnabled) {
+  set_level(Level::kSummary);
+  Registry reg;
+  {
+    ScopedRegistry scope(&reg);
+    MECSC_SPAN("test.block");
+  }
+  auto hists = reg.histograms_snapshot();
+  ASSERT_EQ(hists.size(), 1u);
+  EXPECT_EQ(hists[0].key, "span.test.block");
+  EXPECT_EQ(hists[0].count, 1u);
+}
+
+TEST(SlotTimeline, SumsMatchingSpans) {
+  SlotTimeline tl;
+  {
+    TimelineSpan a(&tl, "phase.a");
+    TimelineSpan b(&tl, "phase.b");
+  }
+  {
+    TimelineSpan a(&tl, "phase.a");
+  }
+  ASSERT_EQ(tl.events().size(), 3u);
+  EXPECT_GE(tl.ms_of("phase.a"), 0.0);
+  EXPECT_DOUBLE_EQ(tl.ms_of("phase.none"), 0.0);
+}
+
+}  // namespace
+}  // namespace mecsc::obs
