@@ -1,6 +1,7 @@
 #include "algorithms/baselines.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <numeric>
 #include <unordered_set>
@@ -36,6 +37,9 @@ void HistoricalBaseline::observe(std::size_t, const core::Assignment& decision,
   std::unordered_set<std::size_t> played(decision.station_of_request.begin(),
                                          decision.station_of_request.end());
   for (std::size_t i : played) {
+    // Censored feedback (fault injection marks lost d_i(t) as NaN) is
+    // simply skipped — the estimate keeps its last value.
+    if (!std::isfinite(realized_unit_delays[i])) continue;
     std::size_t m = ++observations_[i];
     theta_hist_[i] += (realized_unit_delays[i] - theta_hist_[i]) /
                       static_cast<double>(m + 1);  // prior counts as one sample
@@ -57,7 +61,7 @@ core::Assignment GreedyPerStation::decide(std::size_t t) {
 
   std::vector<double> load(ns, 0.0);
   std::vector<double> cap(ns);
-  for (std::size_t i = 0; i < ns; ++i) cap[i] = p.topology().station(i).capacity_mhz;
+  for (std::size_t i = 0; i < ns; ++i) cap[i] = p.station_capacity_mhz(i);
   std::vector<std::vector<bool>> cached(p.num_services(),
                                         std::vector<bool>(ns, false));
 
@@ -72,6 +76,7 @@ core::Assignment GreedyPerStation::decide(std::size_t t) {
   while (assigned < nr && progress) {
     progress = false;
     for (std::size_t i = 0; i < ns && assigned < nr; ++i) {
+      if (cap[i] <= 0.0) continue;  // station down this slot: claims nothing
       std::size_t best = nr;
       double best_cost = std::numeric_limits<double>::infinity();
       for (std::size_t l = 0; l < nr; ++l) {
@@ -94,13 +99,16 @@ core::Assignment GreedyPerStation::decide(std::size_t t) {
     }
   }
   // Anything unplaceable (should not happen under the feasibility
-  // assumption) goes to the least-loaded station.
+  // assumption) goes to the least-loaded *up* station; a down station
+  // (cap 0 under fault injection) is never a host of last resort.
   for (std::size_t l = 0; l < nr; ++l) {
     if (a.station_of_request[l] != ns) continue;
-    std::size_t least = 0;
-    for (std::size_t i = 1; i < ns; ++i) {
-      if (load[i] < load[least]) least = i;
+    std::size_t least = ns;
+    for (std::size_t i = 0; i < ns; ++i) {
+      if (cap[i] <= 0.0) continue;
+      if (least == ns || load[i] < load[least]) least = i;
     }
+    if (least == ns) least = 0;  // whole network down — plan invariant forbids it
     a.station_of_request[l] = least;
     load[least] += p.resource_demand_mhz(rho[l]);
   }
@@ -142,7 +150,7 @@ core::Assignment PriorityBaseline::decide(std::size_t t) {
 
   std::vector<double> load(ns, 0.0);
   std::vector<double> cap(ns);
-  for (std::size_t i = 0; i < ns; ++i) cap[i] = p.topology().station(i).capacity_mhz;
+  for (std::size_t i = 0; i < ns; ++i) cap[i] = p.station_capacity_mhz(i);
   std::vector<std::vector<bool>> cached(p.num_services(),
                                         std::vector<bool>(ns, false));
 
@@ -156,6 +164,7 @@ core::Assignment PriorityBaseline::decide(std::size_t t) {
     std::size_t fallback = 0;
     double fallback_load = std::numeric_limits<double>::infinity();
     for (std::size_t i = 0; i < ns; ++i) {
+      if (cap[i] <= 0.0) continue;  // down station: neither host nor fallback
       if (load[i] < fallback_load) {
         fallback_load = load[i];
         fallback = i;

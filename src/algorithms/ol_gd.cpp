@@ -80,13 +80,43 @@ core::Assignment OnlineCachingAlgorithm::decide(std::size_t t) {
     }
   }
 
+  // Solver fallback chain (graceful degradation, DESIGN.md §9):
+  //   depth 0  warm-start simplex (exact-LP path) / min-cost flow;
+  //   depth 1  cold simplex restart under Bland's rule (guaranteed to
+  //            terminate — shakes off cycling and a poisoned warm basis);
+  //   depth 2  flow-based degraded solve: route what fits, place the
+  //            rest greedily. decide() never throws out of the slot loop
+  //            for solver reasons.
   core::FractionalSolution frac;
+  last_fallback_depth_ = 0;
   if (options_.use_exact_lp) {
     core::LpFormulation lp(*problem_, last_demands_, theta);
-    frac = lp.solve(lp::SimplexSolver(), lp_workspace_);
+    lp::SimplexOptions primary;
+    primary.max_iterations = options_.lp_max_iterations;
+    core::LpSolveOutcome out = lp.try_solve(lp::SimplexSolver(primary), lp_workspace_);
+    if (out.status != lp::SolveStatus::kOptimal) {
+      last_fallback_depth_ = 1;
+      lp_workspace_.clear_warm_start();
+      lp::SimplexOptions bland;
+      bland.bland_after = 0;  // Bland's rule from the first pivot
+      out = lp.try_solve(lp::SimplexSolver(bland), lp_workspace_);
+    }
+    if (out.status == lp::SolveStatus::kOptimal) {
+      frac = std::move(out.solution);
+    } else {
+      last_fallback_depth_ = 2;
+      frac = solver_.solve_degraded(last_demands_, theta);
+    }
   } else {
-    frac = solver_.solve(last_demands_, theta);
+    core::SolveReport report;
+    frac = solver_.solve_degraded(last_demands_, theta, &report);
+    if (report.degraded) last_fallback_depth_ = 2;
   }
+  if (last_fallback_depth_ > 0) {
+    MECSC_COUNT("fault.solver_fallbacks", 1.0);
+  }
+  MECSC_GAUGE_SET("fault.fallback_depth",
+                  static_cast<double>(last_fallback_depth_));
 
   core::RoundingOptions ropt;
   ropt.gamma = options_.gamma;
@@ -109,13 +139,18 @@ void OnlineCachingAlgorithm::observe(std::size_t t, const core::Assignment& deci
   for (std::size_t i : decision.station_of_request) played_[i] = true;
   const bool telemetry = obs::enabled();
   for (std::size_t i = 0; i < played_.size(); ++i) {
-    if (played_[i]) {
-      bandit_.observe(i, realized_unit_delays[i]);
-      if (telemetry) {
-        obs::current()
-            .counter("olgd.arm_pulls", {{"arm", std::to_string(i)}})
-            .inc();
-      }
+    if (!played_[i]) continue;
+    // Censored feedback (fault injection marks a lost d_i(t) as NaN):
+    // skip the update, the arm keeps its estimate and play count.
+    if (!std::isfinite(realized_unit_delays[i])) {
+      MECSC_COUNT("fault.censored_observations", 1.0);
+      continue;
+    }
+    bandit_.observe(i, realized_unit_delays[i]);
+    if (telemetry) {
+      obs::current()
+          .counter("olgd.arm_pulls", {{"arm", std::to_string(i)}})
+          .inc();
     }
   }
   if (predictor_) predictor_->observe(t, true_demands);

@@ -40,6 +40,11 @@ struct OlOptions {
   /// Solve the per-slot LP exactly with the dense simplex instead of the
   /// flow-based solver (small instances / ablations only).
   bool use_exact_lp = false;
+  /// Hard pivot cap handed to the exact-LP simplex (0 = solver
+  /// automatic). Mainly a test seam: setting it very low forces
+  /// kIterationLimit at fallback depth 0 and exercises the degradation
+  /// chain below.
+  std::size_t lp_max_iterations = 0;
   /// Optimism-in-the-face-of-uncertainty extension: when > 0, the LP is
   /// solved with the lower confidence bound
   ///     θ̃_i = max(0, θ_i − β·sqrt(ln(t+1) / m_i))
@@ -83,6 +88,11 @@ class OnlineCachingAlgorithm final : public CachingAlgorithm {
   /// for tests and prediction-accuracy accounting.
   const std::vector<double>& last_demands() const noexcept { return last_demands_; }
 
+  /// How far down the solver fallback chain the latest decide() went:
+  /// 0 = primary solve, 1 = cold Bland's-rule simplex restart, 2 = flow
+  /// based degraded solve (greedy repair of unroutable demand).
+  int last_fallback_depth() const noexcept { return last_fallback_depth_; }
+
  private:
   std::vector<double> demands_for(std::size_t t);
 
@@ -99,6 +109,7 @@ class OnlineCachingAlgorithm final : public CachingAlgorithm {
   common::Rng rng_;
   std::vector<double> last_demands_;
   std::vector<bool> played_;  // scratch station mask for observe()
+  int last_fallback_depth_ = 0;
 };
 
 /// Factories matching the paper's algorithm names.

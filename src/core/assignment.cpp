@@ -30,7 +30,7 @@ double realized_average_delay(const CachingProblem& problem, const Assignment& a
   std::vector<double> load = station_loads(problem, a, demands);
   std::vector<double> congestion(load.size(), 1.0);
   for (std::size_t i = 0; i < load.size(); ++i) {
-    double cap = problem.topology().station(i).capacity_mhz;
+    double cap = problem.station_capacity_mhz(i);
     if (cap > 0.0 && load[i] > cap) congestion[i] = load[i] / cap;
   }
   double total = 0.0;
@@ -84,7 +84,7 @@ double capacity_violation(const CachingProblem& problem, const Assignment& a,
   std::vector<double> load = station_loads(problem, a, demands);
   double violation = 0.0;
   for (std::size_t i = 0; i < load.size(); ++i) {
-    violation += std::max(0.0, load[i] - problem.topology().station(i).capacity_mhz);
+    violation += std::max(0.0, load[i] - problem.station_capacity_mhz(i));
   }
   return violation;
 }

@@ -22,6 +22,19 @@ constexpr double kDualTol = 1e-7;
 
 FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
                                            const std::vector<double>& theta) const {
+  return solve_impl(demands, theta, nullptr);
+}
+
+FractionalSolution FractionalSolver::solve_degraded(
+    const std::vector<double>& demands, const std::vector<double>& theta,
+    SolveReport* report) const {
+  SolveReport local;
+  return solve_impl(demands, theta, report != nullptr ? report : &local);
+}
+
+FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& demands,
+                                                const std::vector<double>& theta,
+                                                SolveReport* report) const {
   MECSC_SPAN("frac.solve");
   MECSC_COUNT("frac.solves", 1.0);
   const CachingProblem& p = *problem_;
@@ -138,7 +151,7 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
     for (std::size_t i = 0; i < ns; ++i) {
       for (std::size_t l = 0; l < nr; ++l) {
         if (s.in_work[l * ns + i]) {
-          cap += p.topology().station(i).capacity_mhz;
+          cap += p.station_capacity_mhz(i);
           break;
         }
       }
@@ -173,12 +186,15 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
     }
     for (std::size_t i = 0; i < ns; ++i) {
       s.sink_edge[i] =
-          s.mcf.add_edge(1 + nr + i, sink, p.topology().station(i).capacity_mhz, 0.0);
+          s.mcf.add_edge(1 + nr + i, sink, p.station_capacity_mhz(i), 0.0);
     }
   };
 
   double best_objective = std::numeric_limits<double>::infinity();
   bool have_best = false;
+  // Degraded mode: set once the flow solver accepts a shortfall (only
+  // possible when `report` is non-null).
+  bool shortfall = false;
 
   // Successive approximation of the facility-location term: solve the
   // transportation LP with instantiation delay amortized per unit of
@@ -219,15 +235,23 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
       if (certify) MECSC_COUNT("mcf.pruning_rounds", 1.0);
       flow::FlowResult fr = s.mcf.solve(src, sink, total_flow);
       if (fr.flow < total_flow - 1e-6 * std::max(1.0, total_flow)) {
-        if (width >= ns) {
+        if (width < ns) {
+          width = std::min(ns, width * 2);
+          expand_width(width);
+          MECSC_COUNT("frac.width_expansions", 1.0);
+          graph_dirty = true;
+          continue;
+        }
+        if (report == nullptr) {
           throw common::Infeasible(
               "flow solver could not route all demand: capacity short");
         }
-        width = std::min(ns, width * 2);
-        expand_width(width);
-        MECSC_COUNT("frac.width_expansions", 1.0);
-        graph_dirty = true;
-        continue;
+        // Degraded mode: keep what was routed; the leftovers are placed
+        // greedily during extraction below.
+        report->degraded = true;
+        report->unrouted_mhz = total_flow - fr.flow;
+        MECSC_COUNT("fault.degraded_solves", 1.0);
+        shortfall = true;
       }
       // Certificate duals (also persisted as the congestion estimate for
       // the next solve's working-set ranking). A station with no inbound
@@ -243,7 +267,7 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
                                  ? s.mcf.potential(1 + nr + i)
                                  : psink;
       }
-      if (!certify) break;
+      if (shortfall || !certify) break;
       // Scan pruned arcs for negative reduced cost. Only the two most
       // violated arcs per request are added per iteration: the optimal
       // support is sparse (a transportation basis has ~2 arcs per
@@ -293,15 +317,26 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
     s.x.assign(nr * ns, 0.0);
     s.y.assign(nk * ns, 0.0);
     s.attracted.assign(nk * ns, 0.0);
+    if (shortfall) {
+      // Track per-station load so the greedy leftover placement can find
+      // residual capacity.
+      s.station_load.resize(ns);
+      for (std::size_t i = 0; i < ns; ++i) {
+        s.station_load[i] = s.mcf.edge_flow(s.sink_edge[i]);
+      }
+    }
     double xcost = 0.0;  // sum over x of the true (non-amortized) cost
     for (std::size_t l = 0; l < nr; ++l) {
       std::size_t k = p.requests()[l].service_id;
       if (s.res[l] <= 0.0) {
-        // Zero-demand request: pin to its cheapest station (no capacity
-        // use, no instantiation pressure).
+        // Zero-demand request: pin to its cheapest *up* station (no
+        // capacity use, no instantiation pressure). Down stations are
+        // skipped so shed/idle requests never ride out a slot on an
+        // outaged host.
         std::size_t best_i = 0;
         double best_cost = std::numeric_limits<double>::infinity();
         for (std::size_t i = 0; i < ns; ++i) {
+          if (!p.station_up(i)) continue;
           double c = p.access_latency_ms(l, i);
           if (c < best_cost) {
             best_cost = c;
@@ -314,6 +349,7 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
         continue;
       }
       auto& w = s.work[l];
+      double placed = 0.0;
       for (std::size_t j = 0; j < w.size(); ++j) {
         double xli =
             std::clamp(s.mcf.edge_flow(s.work_edge[l][j]) / s.res[l], 0.0, 1.0);
@@ -323,6 +359,42 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
         s.y[k * ns + i] = std::max(s.y[k * ns + i], xli);
         s.attracted[k * ns + i] += xli * s.res[l];
         xcost += xli * s.base_cost[l * ns + i];
+        placed += xli;
+      }
+      if (shortfall && placed < 1.0 - 1e-9) {
+        // Greedy repair of the unrouted fraction: cheapest up station
+        // with room for it, else the up station with the most residual
+        // capacity (capacity violated, but Σx = 1 is preserved and the
+        // overload is scored honestly by the true-cost objective).
+        double leftover = 1.0 - placed;
+        double extra = leftover * s.res[l];
+        std::size_t best_i = ns;
+        double best_cost = std::numeric_limits<double>::infinity();
+        std::size_t spill_i = ns;
+        double spill_room = -std::numeric_limits<double>::infinity();
+        for (std::size_t i = 0; i < ns; ++i) {
+          double cap = p.station_capacity_mhz(i);
+          if (cap <= 0.0) continue;  // down station: never a repair host
+          double room = cap - s.station_load[i];
+          if (room > spill_room) {
+            spill_room = room;
+            spill_i = i;
+          }
+          if (room + 1e-9 < extra) continue;
+          double c = arc_cost(l, i);
+          if (c < best_cost) {
+            best_cost = c;
+            best_i = i;
+          }
+        }
+        if (best_i == ns) best_i = spill_i;
+        if (best_i == ns) best_i = 0;  // whole network down: arbitrary host
+        s.station_load[best_i] += extra;
+        double xli = s.x[l * ns + best_i] + leftover;
+        s.x[l * ns + best_i] = xli;
+        s.y[k * ns + best_i] = std::max(s.y[k * ns + best_i], xli);
+        s.attracted[k * ns + best_i] += extra;
+        xcost += leftover * s.base_cost[l * ns + best_i];
       }
     }
     double ycost = 0.0;
@@ -344,6 +416,7 @@ FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
     } else if (round > 0) {
       break;  // re-pricing converged (or started oscillating): stop early
     }
+    if (shortfall) break;  // capacity is round-invariant: re-pricing can't help
     MECSC_COUNT("frac.repricing_rounds", 1.0);
     std::swap(s.inst_base, s.attracted);
   }

@@ -47,6 +47,16 @@ namespace mecsc::core {
 /// (they are cheap); `sim::ParallelReplicationRunner` replications each
 /// construct their own algorithm instances and therefore their own
 /// solvers.
+/// Outcome annotations of a degraded-mode solve (solve_degraded).
+struct SolveReport {
+  /// True when the flow solver could not route the full demand and the
+  /// remainder was placed greedily (station capacities may then be
+  /// exceeded; the reported objective still scores the true Eq. 3 cost).
+  bool degraded = false;
+  /// Resource demand (MHz) the flow solver failed to route.
+  double unrouted_mhz = 0.0;
+};
+
 class FractionalSolver {
  public:
   explicit FractionalSolver(const CachingProblem& problem) : problem_(&problem) {}
@@ -57,12 +67,30 @@ class FractionalSolver {
   FractionalSolution solve(const std::vector<double>& demands,
                            const std::vector<double>& theta) const;
 
+  /// Degraded-mode variant of solve(): never throws on capacity
+  /// shortfall. The routable part keeps the min-cost-flow optimum; each
+  /// unrouted request fraction is then placed greedily on the cheapest
+  /// up station with residual capacity (the roomiest up station when
+  /// none has any), so Σ_i x_li = 1 still holds for every request.
+  /// Bitwise identical to solve() whenever the instance is feasible.
+  /// `report` (optional) records whether and how much degradation
+  /// happened.
+  FractionalSolution solve_degraded(const std::vector<double>& demands,
+                                    const std::vector<double>& theta,
+                                    SolveReport* report = nullptr) const;
+
   /// Evaluates the exact Eq.-3 objective of a fractional solution
   /// (average per-request delay, ms) with y_ki = max_l x_li.
   double objective(const FractionalSolution& sol, const std::vector<double>& demands,
                    const std::vector<double>& theta) const;
 
  private:
+  /// Shared implementation: throws on shortfall when `report` is null,
+  /// degrades gracefully when it is not.
+  FractionalSolution solve_impl(const std::vector<double>& demands,
+                                const std::vector<double>& theta,
+                                SolveReport* report) const;
+
   /// Reusable buffers; sized on first solve, reused afterwards.
   struct Scratch {
     flow::MinCostFlow mcf{0};
@@ -79,6 +107,7 @@ class FractionalSolver {
     std::vector<std::vector<std::size_t>> work_edge;    // edge id per working arc
     std::vector<std::size_t> sink_edge;  // per station, edge id of station→sink
     std::vector<double> station_price;   // per station, certificate dual
+    std::vector<double> station_load;    // per station, degraded-mode load (MHz)
     std::vector<char> in_work;           // nr×ns membership mask
     std::vector<std::pair<double, std::uint32_t>> cand;  // sort buffer
     std::vector<std::pair<std::uint32_t, std::uint32_t>> violations;

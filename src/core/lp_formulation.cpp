@@ -49,7 +49,7 @@ LpFormulation::LpFormulation(const CachingProblem& problem,
   for (std::size_t i = 0; i < num_stations_; ++i) {
     lp::Constraint c;
     c.relation = lp::Relation::kLessEqual;
-    c.rhs = problem.topology().station(i).capacity_mhz;
+    c.rhs = problem.station_capacity_mhz(i);
     c.name = "cap_" + std::to_string(i);
     for (std::size_t l = 0; l < num_requests_; ++l) {
       c.terms.emplace_back(x_var(l, i), problem.resource_demand_mhz(demands[l]));
@@ -88,25 +88,40 @@ FractionalSolution LpFormulation::solve(const lp::SimplexSolver& solver) const {
 
 FractionalSolution LpFormulation::solve(const lp::SimplexSolver& solver,
                                         lp::SimplexWorkspace& workspace) const {
+  LpSolveOutcome out = try_solve(solver, workspace);
+  switch (out.status) {
+    case lp::SolveStatus::kOptimal:
+      return std::move(out.solution);
+    case lp::SolveStatus::kInfeasible:
+      throw common::Infeasible("per-slot caching LP is infeasible");
+    case lp::SolveStatus::kUnbounded:
+      throw common::NumericalError(
+          "per-slot caching LP reported unbounded — its feasible region is a "
+          "polytope, so this indicates numerical breakdown");
+    case lp::SolveStatus::kIterationLimit:
+      throw common::NumericalError(
+          "simplex hit its pivot limit before reaching optimality");
+  }
+  throw common::NumericalError("unknown simplex status");
+}
+
+LpSolveOutcome LpFormulation::try_solve(const lp::SimplexSolver& solver,
+                                        lp::SimplexWorkspace& workspace) const {
   lp::Solution sol = solver.solve(model_, workspace);
-  if (sol.status == lp::SolveStatus::kInfeasible) {
-    throw common::Infeasible("per-slot caching LP is infeasible");
-  }
-  if (sol.status != lp::SolveStatus::kOptimal) {
-    throw common::NumericalError("simplex failed to reach optimality");
-  }
-  FractionalSolution out;
-  out.objective = sol.objective;
-  out.x.assign(num_requests_, std::vector<double>(num_stations_, 0.0));
-  out.y.assign(num_services_, std::vector<double>(num_stations_, 0.0));
+  LpSolveOutcome out;
+  out.status = sol.status;
+  if (sol.status != lp::SolveStatus::kOptimal) return out;
+  out.solution.objective = sol.objective;
+  out.solution.x.assign(num_requests_, std::vector<double>(num_stations_, 0.0));
+  out.solution.y.assign(num_services_, std::vector<double>(num_stations_, 0.0));
   for (std::size_t l = 0; l < num_requests_; ++l) {
     for (std::size_t i = 0; i < num_stations_; ++i) {
-      out.x[l][i] = sol.x[x_var(l, i)];
+      out.solution.x[l][i] = sol.x[x_var(l, i)];
     }
   }
   for (std::size_t k = 0; k < num_services_; ++k) {
     for (std::size_t i = 0; i < num_stations_; ++i) {
-      out.y[k][i] = sol.x[y_var(k, i)];
+      out.solution.y[k][i] = sol.x[y_var(k, i)];
     }
   }
   return out;

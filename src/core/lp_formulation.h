@@ -9,6 +9,13 @@
 
 namespace mecsc::core {
 
+/// Status-annotated result of LpFormulation::try_solve. `solution` is
+/// meaningful only when `status == lp::SolveStatus::kOptimal`.
+struct LpSolveOutcome {
+  lp::SolveStatus status = lp::SolveStatus::kIterationLimit;
+  FractionalSolution solution;
+};
+
 /// Builds and solves the paper's exact per-slot LP relaxation
 /// (Eq. 3 s.t. constraints 4-6, relaxed per Eq. 8) with the dense
 /// simplex. O(|R|·|BS|) variables and constraints, so this path is for
@@ -27,12 +34,20 @@ class LpFormulation {
   std::size_t y_var(std::size_t service, std::size_t station) const;
 
   /// Solves the LP and unpacks x/y. Throws Infeasible when the LP has no
-  /// feasible point and NumericalError on iteration limit.
+  /// feasible point and NumericalError on unboundedness (numerical
+  /// breakdown — the relaxation's feasible region is a polytope) or
+  /// pivot-limit exhaustion.
   FractionalSolution solve(const lp::SimplexSolver& solver) const;
 
   /// Same, but reuses (and warm-starts from) the caller's workspace —
   /// the zero-allocation path for per-slot solves of same-sized models.
   FractionalSolution solve(const lp::SimplexSolver& solver,
+                           lp::SimplexWorkspace& workspace) const;
+
+  /// Exception-free variant: surfaces the simplex status instead of
+  /// throwing, so callers with a fallback chain (OL_GD under fault
+  /// injection) can retry with different solver options.
+  LpSolveOutcome try_solve(const lp::SimplexSolver& solver,
                            lp::SimplexWorkspace& workspace) const;
 
  private:

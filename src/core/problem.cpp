@@ -42,7 +42,32 @@ CachingProblem::CachingProblem(const net::Topology* topology,
     inst_factor_.push_back(rng.uniform(lo, hi));
   }
 
+  reset_station_capacities();
   recompute_wireless_terms();
+}
+
+double CachingProblem::total_effective_capacity_mhz() const {
+  double total = 0.0;
+  for (double c : effective_capacity_) total += c;
+  return total;
+}
+
+void CachingProblem::set_station_capacities(const std::vector<double>& capacities) {
+  MECSC_CHECK_MSG(capacities.size() == topology_->num_stations(),
+                  "capacity vector size mismatch");
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    MECSC_CHECK_MSG(capacities[i] >= 0.0 &&
+                        capacities[i] <= topology_->station(i).capacity_mhz + 1e-9,
+                    "effective capacity outside [0, static capacity]");
+  }
+  effective_capacity_ = capacities;
+}
+
+void CachingProblem::reset_station_capacities() {
+  effective_capacity_.resize(topology_->num_stations());
+  for (std::size_t i = 0; i < effective_capacity_.size(); ++i) {
+    effective_capacity_[i] = topology_->station(i).capacity_mhz;
+  }
 }
 
 void CachingProblem::recompute_wireless_terms() {

@@ -43,8 +43,11 @@ struct ProblemOptions {
 /// network, the services, the requests, the per-(station, service)
 /// instantiation delays, and the objective's cost coefficients.
 ///
-/// The instance is immutable after creation; per-slot state (demands,
-/// realised delays, bandit estimates) lives outside.
+/// The instance is immutable after creation except for two explicitly
+/// mutable views of per-slot state: user locations (mobility,
+/// update_user_locations) and effective station capacities (fault
+/// injection, set_station_capacities). Everything else — demands,
+/// realised delays, bandit estimates — lives outside.
 class CachingProblem {
  public:
   CachingProblem(const net::Topology* topology,
@@ -96,6 +99,31 @@ class CachingProblem {
   /// otherwise.
   void check_capacity_feasible(const std::vector<double>& demands) const;
 
+  /// Effective (fault-adjusted) capacity of station i for the current
+  /// slot. Equals the topology's static capacity until a fault injector
+  /// installs a derated view; solvers and baselines must read this, not
+  /// topology().station(i).capacity_mhz, so degraded slots are honoured.
+  double station_capacity_mhz(std::size_t station) const {
+    return effective_capacity_[station];
+  }
+
+  /// Whether station i currently has any serving capacity (false during
+  /// an injected outage).
+  bool station_up(std::size_t station) const {
+    return effective_capacity_[station] > 0.0;
+  }
+
+  /// Sum of the current effective capacities.
+  double total_effective_capacity_mhz() const;
+
+  /// Installs a per-slot effective-capacity view (fault injection:
+  /// outages set a station to 0, derating scales it down). Sizes must
+  /// match num_stations(); values must be in [0, static capacity].
+  void set_station_capacities(const std::vector<double>& capacities);
+
+  /// Restores the static topology capacities.
+  void reset_station_capacities();
+
   /// Mobility support: replaces the requests' positions, clusters and
   /// home stations (service ids, ids and basic demands must be
   /// unchanged) and recomputes the wireless per-unit terms. Algorithms
@@ -113,6 +141,7 @@ class CachingProblem {
   ProblemOptions options_;
   std::vector<double> inst_factor_;  // per station
   std::vector<double> tx_unit_ms_;   // per request, wireless ms per data unit
+  std::vector<double> effective_capacity_;  // per station, fault-adjusted MHz
 };
 
 /// A fractional solution to the per-slot LP relaxation: x[l][i] in [0,1]

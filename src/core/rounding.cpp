@@ -80,12 +80,14 @@ Assignment round_assignment(const CachingProblem& problem,
       a.station_of_request[l] = sample_candidate(frac.x[l], candi[l], rng);
       continue;
     }
-    // Exploration: uniformly random station outside the candidate set
-    // (Algorithm 1 line 9); when every station is a candidate, fall back
-    // to a uniform station.
+    // Exploration: uniformly random *up* station outside the candidate
+    // set (Algorithm 1 line 9; station liveness is public knowledge, so
+    // no exploration budget is burned probing a known outage); when
+    // every up station is a candidate, fall back to a uniform station.
     std::vector<std::size_t> others;
     others.reserve(ns);
     for (std::size_t i = 0; i < ns; ++i) {
+      if (!problem.station_up(i)) continue;
       if (std::find(candi[l].begin(), candi[l].end(), i) == candi[l].end()) {
         others.push_back(i);
       }
@@ -108,7 +110,7 @@ Assignment round_assignment(const CachingProblem& problem,
   // cheapest station with room.
   std::vector<double> load(ns, 0.0);
   std::vector<double> cap(ns);
-  for (std::size_t i = 0; i < ns; ++i) cap[i] = problem.topology().station(i).capacity_mhz;
+  for (std::size_t i = 0; i < ns; ++i) cap[i] = problem.station_capacity_mhz(i);
   for (std::size_t l = 0; l < nr; ++l) {
     load[a.station_of_request[l]] += problem.resource_demand_mhz(demands[l]);
   }
@@ -130,7 +132,7 @@ Assignment round_assignment(const CachingProblem& problem,
       double best_cost = std::numeric_limits<double>::infinity();
       bool best_is_candidate = false;
       for (std::size_t j = 0; j < ns; ++j) {
-        if (j == i || load[j] + res > cap[j]) continue;
+        if (j == i || cap[j] <= 0.0 || load[j] + res > cap[j]) continue;
         bool is_candi = std::find(candi[l].begin(), candi[l].end(), j) != candi[l].end();
         double c = serve_cost(problem, l, j, demands[l], theta);
         if ((is_candi && !best_is_candidate) ||
@@ -176,7 +178,7 @@ Assignment round_assignment(const CachingProblem& problem,
       std::size_t best_to = from;
       double best_delta = -1e-9;
       for (std::size_t j : candi[l]) {
-        if (j == from || load[j] + res > cap[j]) continue;
+        if (j == from || cap[j] <= 0.0 || load[j] + res > cap[j]) continue;
         double open_cost = users_of[cell(k, j)].empty()
                                ? problem.instantiation_delay_ms(j, k)
                                : 0.0;

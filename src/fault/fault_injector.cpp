@@ -1,0 +1,125 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace mecsc::fault {
+
+FaultInjector::FaultInjector(core::CachingProblem& problem, FaultPlan plan)
+    : problem_(&problem), plan_(std::move(plan)) {
+  MECSC_CHECK_MSG(!plan_.empty(), "empty fault plan");
+  MECSC_CHECK_MSG(plan_.slot(0).station_up.size() == problem.num_stations(),
+                  "fault plan / problem station count mismatch");
+  const std::size_t horizon = plan_.horizon();
+  summaries_.resize(horizon);
+  shed_.resize(horizon);
+
+  // Outage bookkeeping is plan-only, so it is summarised here once.
+  const std::size_t ns = problem.num_stations();
+  for (std::size_t t = 0; t < horizon; ++t) {
+    const SlotFaults& sf = plan_.slot(t);
+    SlotFaultSummary& sum = summaries_[t];
+    for (std::size_t i = 0; i < ns; ++i) {
+      const bool up = sf.station_up[i] != 0;
+      if (!up) ++sum.active_outages;
+      if (up && sf.capacity_factor[i] < 1.0) ++sum.derated;
+      if (sf.feedback_lost[i]) ++sum.censored;
+      const bool was_up = t == 0 || plan_.slot(t - 1).station_up[i] != 0;
+      if (was_up && !up) ++sum.newly_down;
+      if (!was_up && up) ++sum.recovered;
+    }
+    sum.flash_crowd = !sf.cluster_multiplier.empty();
+  }
+}
+
+void FaultInjector::apply_to_demands(workload::DemandMatrix& demands) {
+  MECSC_CHECK_MSG(!demands_applied_, "apply_to_demands called twice");
+  demands_applied_ = true;
+  const core::CachingProblem& p = *problem_;
+  const std::size_t nr = p.num_requests();
+  const std::size_t ns = p.num_stations();
+  MECSC_CHECK_MSG(demands.num_requests() == nr,
+                  "demand matrix / problem size mismatch");
+  const std::size_t horizon = std::min(plan_.horizon(), demands.horizon());
+  const FaultOptions& opt = plan_.options();
+
+  std::size_t num_clusters = 0;
+  for (const auto& r : p.requests()) {
+    num_clusters = std::max(num_clusters, r.location_cluster + 1);
+  }
+
+  std::vector<std::size_t> order(nr);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    const SlotFaults& sf = plan_.slot(t);
+    SlotFaultSummary& sum = summaries_[t];
+
+    // 1. Flash crowds: amplify the affected clusters' demand.
+    for (std::size_t j = 0; j + 1 < sf.cluster_multiplier.size(); j += 2) {
+      std::size_t cluster =
+          static_cast<std::size_t>(sf.cluster_multiplier[j]) % num_clusters;
+      double mult = sf.cluster_multiplier[j + 1];
+      for (std::size_t l = 0; l < nr; ++l) {
+        if (p.requests()[l].location_cluster == cluster) {
+          demands.set(l, t, demands.at(l, t) * mult);
+        }
+      }
+    }
+
+    // 2. Admission control against the surviving (derated) capacity.
+    double up_capacity = 0.0;
+    double biggest_up = 0.0;
+    for (std::size_t i = 0; i < ns; ++i) {
+      double cap =
+          p.topology().station(i).capacity_mhz * sf.capacity_factor[i];
+      up_capacity += cap;
+      biggest_up = std::max(biggest_up, cap);
+    }
+    const double budget = opt.admission_margin * up_capacity;
+    double need = 0.0;
+    for (std::size_t l = 0; l < nr; ++l) {
+      need += p.resource_demand_mhz(demands.at(l, t));
+    }
+    // Shed any request that no longer fits the largest surviving
+    // station (integral assignment needs a single host), then the
+    // largest-demand requests until the slot fits the budget — the
+    // deterministic "biggest spender defers" policy.
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      double da = demands.at(a, t), db = demands.at(b, t);
+      if (da != db) return da > db;
+      return a < b;
+    });
+    for (std::size_t l : order) {
+      double res = p.resource_demand_mhz(demands.at(l, t));
+      if (res <= 0.0) break;  // descending order: the rest are zero too
+      bool oversize = res > opt.admission_margin * biggest_up;
+      // Descending order again: once the aggregate fits and this request
+      // fits the biggest station, every remaining (smaller) one does.
+      if (!oversize && need <= budget) break;
+      demands.set(l, t, 0.0);
+      need -= res;
+      shed_[t].push_back(static_cast<std::uint32_t>(l));
+      ++sum.shed_requests;
+      sum.shed_penalty_ms += opt.shed_penalty_ms;
+    }
+  }
+}
+
+const SlotFaultSummary& FaultInjector::begin_slot(std::size_t t) {
+  MECSC_CHECK_MSG(t < plan_.horizon(), "slot beyond fault plan horizon");
+  const SlotFaults& sf = plan_.slot(t);
+  const std::size_t ns = problem_->num_stations();
+  capacity_scratch_.resize(ns);
+  for (std::size_t i = 0; i < ns; ++i) {
+    capacity_scratch_[i] =
+        problem_->topology().station(i).capacity_mhz * sf.capacity_factor[i];
+  }
+  problem_->set_station_capacities(capacity_scratch_);
+  return summaries_[t];
+}
+
+void FaultInjector::end_run() { problem_->reset_station_capacities(); }
+
+}  // namespace mecsc::fault

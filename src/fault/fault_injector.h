@@ -1,0 +1,83 @@
+#ifndef MECSC_FAULT_FAULT_INJECTOR_H
+#define MECSC_FAULT_FAULT_INJECTOR_H
+
+#include <cstddef>
+#include <vector>
+
+#include "core/problem.h"
+#include "fault/fault_plan.h"
+#include "workload/demand_model.h"
+
+namespace mecsc::fault {
+
+/// Per-slot fault summary the simulator folds into its SlotRecord.
+struct SlotFaultSummary {
+  std::size_t active_outages = 0;   // stations down this slot
+  std::size_t newly_down = 0;       // up in t-1, down in t (evict caches)
+  std::size_t recovered = 0;        // down in t-1, up in t (re-instantiate)
+  std::size_t derated = 0;          // up but serving below full capacity
+  std::size_t censored = 0;         // stations whose d_i(t) is lost
+  std::size_t shed_requests = 0;    // admission control deferrals
+  bool flash_crowd = false;
+  /// Total delay penalty (ms, pre-averaging) the shed requests incur.
+  double shed_penalty_ms = 0.0;
+};
+
+/// Applies a FaultPlan to a run: mutates the problem's effective station
+/// capacities per slot, bakes flash crowds and admission-control
+/// shedding into the demand matrix up front (so every algorithm and the
+/// scorer see the same post-fault sample path), and exposes per-slot
+/// summaries plus the censoring mask.
+///
+/// Everything is precomputed at construction/apply time from the
+/// deterministic plan — begin_slot only copies state into the problem —
+/// so replaying the run for a second algorithm, or under a different
+/// MECSC_WORKERS, is bitwise identical.
+class FaultInjector {
+ public:
+  /// `problem` must outlive the injector; its station capacities are
+  /// overwritten per slot during a run (reset by end_run()).
+  FaultInjector(core::CachingProblem& problem, FaultPlan plan);
+
+  /// Bakes the plan's flash crowds into `demands`, then applies
+  /// admission control per slot: while a slot's aggregate resource
+  /// demand exceeds admission_margin × surviving capacity (or a request
+  /// cannot fit the largest up station), the largest-demand requests are
+  /// shed — their demand is zeroed (deferred) and the per-request shed
+  /// penalty is recorded in the slot summary. Call once, before the run.
+  void apply_to_demands(workload::DemandMatrix& demands);
+
+  /// Installs slot t's effective capacities into the problem and
+  /// returns the slot's summary.
+  const SlotFaultSummary& begin_slot(std::size_t t);
+
+  /// Restores the problem's full static capacities.
+  void end_run();
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+  const SlotFaultSummary& summary(std::size_t t) const { return summaries_.at(t); }
+
+  bool station_up(std::size_t t, std::size_t i) const {
+    return plan_.slot(t).station_up[i] != 0;
+  }
+  bool feedback_lost(std::size_t t, std::size_t i) const {
+    return plan_.slot(t).feedback_lost[i] != 0;
+  }
+  /// Requests shed (demand deferred) in slot t; valid after
+  /// apply_to_demands.
+  const std::vector<std::uint32_t>& shed(std::size_t t) const {
+    return shed_.at(t);
+  }
+
+ private:
+  core::CachingProblem* problem_;
+  FaultPlan plan_;
+  std::vector<SlotFaultSummary> summaries_;
+  std::vector<std::vector<std::uint32_t>> shed_;  // request ids per slot
+  std::vector<double> capacity_scratch_;
+  bool demands_applied_ = false;
+};
+
+}  // namespace mecsc::fault
+
+#endif  // MECSC_FAULT_FAULT_INJECTOR_H

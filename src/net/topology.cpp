@@ -117,6 +117,14 @@ double Topology::total_capacity_mhz() const {
   return total;
 }
 
+std::size_t Topology::largest_station() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < stations_.size(); ++i) {
+    if (stations_[i].capacity_mhz > stations_[best].capacity_mhz) best = i;
+  }
+  return best;
+}
+
 void Topology::mark_bottlenecks(std::size_t count, double factor) {
   MECSC_CHECK_MSG(factor >= 1.0, "bottleneck factor must be >= 1");
   std::vector<std::size_t> order(links_.size());

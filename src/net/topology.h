@@ -69,6 +69,12 @@ class Topology {
   /// (total demand must fit, §III.E).
   double total_capacity_mhz() const;
 
+  /// Id of the largest-capacity station (0 for an empty topology). The
+  /// fault planner keeps this station alive whenever churn would take
+  /// the whole network down, and feasibility checks use it as the
+  /// single-host bound.
+  std::size_t largest_station() const;
+
   /// Marks the `count` highest-latency links as bottlenecks and scales
   /// their latency by `factor` (used by the AS1755-like generator).
   void mark_bottlenecks(std::size_t count, double factor);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.h"
+#include "obs/metrics.h"
 
 namespace mecsc::predict {
 
@@ -53,12 +54,25 @@ GanDemandPredictor::GanDemandPredictor(const std::vector<workload::Request>& req
   history_ = std::move(series);
 }
 
+double GanDemandPredictor::sanitize_prediction(double raw_norm,
+                                               const std::vector<double>& history,
+                                               double scale, double basic_demand) {
+  if (std::isfinite(raw_norm)) {
+    double v = raw_norm * scale;
+    return v > 0.0 ? v : basic_demand;
+  }
+  if (history.empty()) return basic_demand;
+  double sum = 0.0;
+  for (double h : history) sum += h;
+  return std::max(0.0, sum / static_cast<double>(history.size()) * scale);
+}
+
 std::vector<double> GanDemandPredictor::predict(std::size_t) {
   std::vector<double> out(cluster_of_request_.size());
   for (std::size_t l = 0; l < out.size(); ++l) {
     double norm = gan_->predict_next(history_[l], cluster_of_request_[l]);
-    double v = norm * scale_;
-    out[l] = v > 0.0 ? v : fallback_[l];
+    if (!std::isfinite(norm)) MECSC_COUNT("fault.predictor_nan", 1.0);
+    out[l] = sanitize_prediction(norm, history_[l], scale_, fallback_[l]);
   }
   return out;
 }
@@ -67,7 +81,12 @@ void GanDemandPredictor::observe(std::size_t, const std::vector<double>& demands
   MECSC_CHECK_MSG(demands.size() == history_.size(), "demand size mismatch");
   std::size_t keep = 4 * gan_->config().seq_len;
   for (std::size_t l = 0; l < demands.size(); ++l) {
-    history_[l].push_back(std::clamp(demands[l] / scale_, 0.0, 1.0));
+    // A non-finite observation (should not happen; defensive against a
+    // faulted upstream) is recorded as "no demand" rather than poisoning
+    // the history ring.
+    double norm =
+        std::isfinite(demands[l]) ? std::clamp(demands[l] / scale_, 0.0, 1.0) : 0.0;
+    history_[l].push_back(norm);
     if (history_[l].size() > keep) history_[l].erase(history_[l].begin());
   }
 }

@@ -46,6 +46,17 @@ class GanDemandPredictor final : public DemandPredictor {
   double scale() const noexcept { return scale_; }
   gan::InfoRnnGan& model() noexcept { return *gan_; }
 
+  /// Degradation seam (DESIGN.md §9): turns one raw normalized generator
+  /// output into a usable demand. A non-finite output (diverged GAN)
+  /// falls back to the mean of the request's observed history (basic
+  /// demand when there is none), so NaN/Inf can never reach the LP; a
+  /// finite non-positive output keeps the basic-demand fallback.
+  /// Static and exposed so tests can drive it without training a
+  /// pathological model.
+  static double sanitize_prediction(double raw_norm,
+                                    const std::vector<double>& history,
+                                    double scale, double basic_demand);
+
  private:
   std::vector<std::size_t> cluster_of_request_;
   std::vector<double> fallback_;

@@ -1,6 +1,7 @@
 #include "sim/scenario.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/error.h"
 
@@ -16,6 +17,10 @@ Scenario::Scenario(const ScenarioParams& params) : params_(params) {
   common::Rng delay_rng = root.split();
   common::Rng trace_rng = root.split();
   algo_seed_root_ = root.split().seed();
+  // Drawn unconditionally (appending a split never perturbs the streams
+  // above) so a faults-on run shares the exact topology / workload /
+  // delay sample paths of its faults-off twin.
+  const std::uint64_t fault_seed = root.split().seed();
 
   switch (params.net) {
     case ScenarioParams::NetKind::kGtItm: {
@@ -106,6 +111,21 @@ Scenario::Scenario(const ScenarioParams& params) : params_(params) {
   problem_ = std::make_unique<core::CachingProblem>(
       topology_.get(), workload_.services, workload_.requests, popt, problem_rng);
 
+  // Fault injection: materialise the plan and bake flash crowds +
+  // admission-control shedding into the shared demand matrix now, so the
+  // feasibility check below and every algorithm see the same post-fault
+  // sample path.
+  fault::FaultOptions fopt = params.fault;
+  if (const char* env = std::getenv("MECSC_FAULTS"); env != nullptr && *env != '\0') {
+    fopt.mode = fault::mode_from_env();
+  }
+  if (fopt.mode != fault::FaultMode::kOff) {
+    fault_injector_ = std::make_unique<fault::FaultInjector>(
+        *problem_,
+        fault::FaultPlan::generate(*topology_, params.horizon, fopt, fault_seed));
+    fault_injector_->apply_to_demands(*demands_);
+  }
+
   net::NetworkDelayModel delay_model =
       net::make_delay_model(*topology_, params.delay_kind, delay_rng);
   d_min_ = delay_model.global_min();
@@ -140,6 +160,9 @@ Scenario::Scenario(const ScenarioParams& params) : params_(params) {
   simulator_ = std::make_unique<Simulator>(*problem_, demands_.get(),
                                            std::move(unit_delays),
                                            params.track_regret);
+  if (fault_injector_ != nullptr) {
+    simulator_->set_fault_injector(fault_injector_.get());
+  }
 }
 
 std::uint64_t Scenario::algorithm_seed(std::size_t index) const {

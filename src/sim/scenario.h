@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "core/problem.h"
+#include "fault/fault_injector.h"
+#include "fault/fault_plan.h"
 #include "net/delay_process.h"
 #include "net/generators.h"
 #include "sim/simulator.h"
@@ -32,6 +34,13 @@ struct ScenarioParams {
   /// Enable per-slot hindsight-optimum computation (slow; regret benches
   /// only).
   bool track_regret = false;
+  /// Fault injection (DESIGN.md §9). Off by default; the MECSC_FAULTS
+  /// environment variable ("off" | "churn"), when set and non-empty,
+  /// overrides `fault.mode` so existing benches can be re-run under
+  /// churn without a recompile. The fault plan draws from its own child
+  /// seed, so enabling faults never shifts the topology / workload /
+  /// delay sample paths.
+  fault::FaultOptions fault;
   std::uint64_t seed = 1;
 };
 
@@ -83,6 +92,12 @@ class Scenario {
   /// algorithm instances).
   std::uint64_t algorithm_seed(std::size_t index) const;
 
+  /// The attached fault injector, or null when faults are off. Its plan
+  /// records the materialised outage/derate/censor/crowd schedule.
+  const fault::FaultInjector* fault_injector() const noexcept {
+    return fault_injector_.get();
+  }
+
  private:
   ScenarioParams params_;
   std::unique_ptr<net::Topology> topology_;
@@ -90,6 +105,7 @@ class Scenario {
   std::unique_ptr<core::CachingProblem> problem_;
   std::unique_ptr<workload::DemandMatrix> demands_;
   std::unique_ptr<workload::Trace> trace_;
+  std::unique_ptr<fault::FaultInjector> fault_injector_;
   std::unique_ptr<Simulator> simulator_;
   double theta_prior_ = 0.0;
   double d_min_ = 0.0;

@@ -10,6 +10,7 @@
 #include "algorithms/algorithm.h"
 #include "core/problem.h"
 #include "core/regret.h"
+#include "fault/fault_injector.h"
 #include "obs/span.h"
 #include "workload/demand_model.h"
 
@@ -26,6 +27,14 @@ struct SlotRecord {
   /// timeline's "algo.decide" span, so the two can never disagree.
   double decision_time_ms = 0.0;
   double capacity_violation_mhz = 0.0;
+  /// Fault-injection accounting (all zero when no injector is set).
+  std::size_t fault_active_outages = 0;    // stations down this slot
+  std::size_t fault_evictions = 0;         // cached instances lost to outages
+  std::size_t fault_shed_requests = 0;     // admission-control deferrals
+  std::size_t fault_censored_feedback = 0; // stations whose d_i(t) was lost
+  /// Per-request shed penalty folded into avg_delay_ms this slot
+  /// (pre-averaging total).
+  double fault_shed_penalty_ms = 0.0;
   /// Span timeline of this slot's phases (algo.decide / sim.score /
   /// sim.observe) — the structured replacement for bolting further
   /// ad-hoc timing doubles onto this record. Always present after a
@@ -76,6 +85,19 @@ class Simulator {
     before_slot_ = std::move(hook);
   }
 
+  /// Attaches a fault injector (non-owning; must outlive the simulator's
+  /// runs). Per slot the simulator then installs the plan's effective
+  /// capacities before decide(), evicts cached instances from down
+  /// stations, scores requests served at a down station with the plan's
+  /// outage penalty, folds the admission-control shed penalty into the
+  /// slot delay, and censors the algorithm's bandit feedback per the
+  /// plan. Everything the injector does is precomputed from its
+  /// deterministic plan, so runs stay replayable across algorithms and
+  /// worker counts.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
   /// Runs one algorithm over the full horizon.
   RunResult run(algorithms::CachingAlgorithm& algorithm) const;
 
@@ -86,6 +108,7 @@ class Simulator {
   std::size_t horizon_;
   bool track_regret_;
   std::function<void(std::size_t)> before_slot_;
+  fault::FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace mecsc::sim
