@@ -1,0 +1,210 @@
+// Scaling sweep for demand-class aggregation (DESIGN.md §11): runs OL_GD
+// at |R| in {1k, 10k, 100k} with the per-slot solve aggregated
+// (MECSC_AGGREGATE-style classes) and, where affordable, unaggregated,
+// then reports per-slot decision time, mean delay and class counts.
+// Results are printed as a table and written to BENCH_scale.json.
+//
+// Acceptance gates (printed as OK/MISMATCH):
+//   * aggregated decision time grows sublinearly in |R| from 1k to 100k;
+//   * aggregated is >= 5x faster than unaggregated at 10k;
+//   * aggregated mean delay is within 2% of unaggregated at 1k.
+// `--quick` shrinks sizes for the CTest perf-smoke label; it checks the
+// harness runs end-to-end, not that the numbers are good.
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algorithms/ol_gd.h"
+#include "bench_util.h"
+#include "common/table.h"
+#include "sim/scenario.h"
+#include "sim/simulator.h"
+
+using namespace mecsc;
+
+namespace {
+
+struct ScalePoint {
+  std::size_t requests = 0;
+  bool aggregated = false;
+  double decision_ms_per_slot = 0.0;
+  double mean_delay_ms = 0.0;
+  std::size_t classes = 0;  // 0 on the unaggregated path
+  std::size_t slots = 0;
+};
+
+void write_json(const std::vector<ScalePoint>& points, bool quick) {
+  std::ofstream out("BENCH_scale.json");
+  out << "{\n  \"quick\": " << (quick ? "true" : "false")
+      << ",\n  \"points\": [\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    out << "    {\"requests\": " << p.requests << ", \"aggregated\": "
+        << (p.aggregated ? "true" : "false")
+        << ", \"decision_ms_per_slot\": " << p.decision_ms_per_slot
+        << ", \"mean_delay_ms\": " << p.mean_delay_ms
+        << ", \"classes\": " << p.classes << ", \"slots\": " << p.slots << "}"
+        << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+/// Runs OL_GD once on `scenario` with aggregation forced on or off and
+/// returns the measured point. The explicit mode overrides any
+/// MECSC_AGGREGATE in the environment (the sweep must control both arms).
+ScalePoint run_point(sim::Scenario& scenario, std::size_t requests,
+                     bool aggregated, std::size_t slots) {
+  algorithms::OlOptions opt;
+  opt.theta_prior = scenario.theta_prior();
+  opt.aggregate =
+      aggregated ? core::AggregateMode::kOn : core::AggregateMode::kOff;
+  algorithms::OnlineCachingAlgorithm ol("OL_GD", scenario.problem(),
+                                        &scenario.demands(), opt,
+                                        scenario.algorithm_seed(0));
+  sim::RunResult r = scenario.simulator().run(ol);
+  ScalePoint p;
+  p.requests = requests;
+  p.aggregated = aggregated;
+  p.decision_ms_per_slot = r.mean_decision_time_ms();
+  p.mean_delay_ms = r.mean_delay_ms();
+  p.classes = ol.last_num_classes();
+  p.slots = slots;
+  std::cout << "  |R|=" << requests << (aggregated ? " agg " : " flat")
+            << ": " << common::fmt(p.decision_ms_per_slot, 2)
+            << " ms/slot decision, mean delay "
+            << common::fmt(p.mean_delay_ms, 2) << " ms"
+            << (aggregated ? " (" + std::to_string(p.classes) + " classes)"
+                           : "")
+            << "\n";
+  return p;
+}
+
+const ScalePoint* find(const std::vector<ScalePoint>& points,
+                       std::size_t requests, bool aggregated) {
+  for (const auto& p : points) {
+    if (p.requests == requests && p.aggregated == aggregated) return &p;
+  }
+  return nullptr;
+}
+
+/// In full mode prints OK/MISMATCH; in --quick the same lines are
+/// informational only — the gates are calibrated for the full grid
+/// (compression needs per-(service, station) request density the quick
+/// sizes don't have), and the smoke test asserts the harness runs, not
+/// the numbers.
+void check(bool ok, bool quick, const std::string& what) {
+  std::cout << "  " << what
+            << (quick ? " (info)" : (ok ? " (OK)" : " (MISMATCH)")) << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  bench::print_header(
+      "OL_GD scaling sweep: demand-class aggregation on/off vs |R|",
+      std::string("DESIGN.md §11; BENCH_scale.json") +
+          (quick ? " [--quick]" : ""));
+
+  // Sweep grid. The unaggregated path is O(|R|) columns per solve and
+  // becomes prohibitive beyond 10k, so the 100k point runs aggregated
+  // only (that asymmetry is the point of the bench); expensive arms get
+  // fewer slots to keep wall-clock sane — decision time is reported per
+  // slot, so arms stay comparable.
+  struct Arm {
+    std::size_t requests;
+    bool aggregated;
+    std::size_t slots;
+  };
+  std::vector<Arm> arms;
+  const std::size_t stations = quick ? 40 : 100;
+  if (quick) {
+    arms = {{300, false, 3}, {300, true, 3}, {1000, false, 3}, {1000, true, 3}};
+  } else {
+    arms = {{1000, false, 6},  {1000, true, 6},   {10000, false, 2},
+            {10000, true, 2},  {100000, true, 3}};
+  }
+
+  std::vector<ScalePoint> points;
+  std::size_t current_requests = 0;
+  std::size_t current_slots = 0;
+  std::unique_ptr<sim::Scenario> scenario;
+  for (const Arm& arm : arms) {
+    // Both arms of one |R| share the scenario (same topology, workload
+    // and demand sample path) as long as the slot count matches too.
+    if (scenario == nullptr || current_requests != arm.requests ||
+        current_slots != arm.slots) {
+      sim::ScenarioParams p;
+      p.num_stations = stations;
+      p.horizon = arm.slots;
+      p.history_horizon = 4;  // predictors unused; keep scenario build cheap
+      p.workload.num_requests = arm.requests;
+      p.seed = 20250806;
+      scenario = std::make_unique<sim::Scenario>(p);
+      current_requests = arm.requests;
+      current_slots = arm.slots;
+    }
+    points.push_back(
+        run_point(*scenario, arm.requests, arm.aggregated, arm.slots));
+  }
+
+  common::Table table({"requests", "mode", "classes", "decision (ms/slot)",
+                       "mean delay (ms)"});
+  for (const auto& p : points) {
+    table.add_row({std::to_string(p.requests),
+                   p.aggregated ? "aggregated" : "per-request",
+                   p.aggregated ? std::to_string(p.classes) : "-",
+                   common::fmt(p.decision_ms_per_slot, 2),
+                   common::fmt(p.mean_delay_ms, 2)});
+  }
+  bench::print_table("Scaling: decision time and delay vs |R|", table);
+
+  // Acceptance gates (full mode; --quick prints the small-grid variants
+  // for eyeballing but the smoke test only asserts the harness runs).
+  std::cout << "\nChecks:\n";
+  const std::size_t lo = quick ? 300 : 1000;
+  const std::size_t mid = quick ? 1000 : 10000;
+  const std::size_t hi = quick ? 1000 : 100000;
+  const ScalePoint* agg_lo = find(points, lo, true);
+  const ScalePoint* agg_mid = find(points, mid, true);
+  const ScalePoint* agg_hi = find(points, hi, true);
+  const ScalePoint* flat_lo = find(points, lo, false);
+  const ScalePoint* flat_mid = find(points, mid, false);
+  if (agg_lo && agg_hi) {
+    const double growth = agg_hi->decision_ms_per_slot /
+                          std::max(1e-9, agg_lo->decision_ms_per_slot);
+    const double size_ratio =
+        static_cast<double>(hi) / static_cast<double>(lo);
+    check(growth < size_ratio, quick,
+          "aggregated decision time sublinear " + std::to_string(lo) + "->" +
+              std::to_string(hi) + " (x" + common::fmt(growth, 1) +
+              " vs linear x" + common::fmt(size_ratio, 0) + ")");
+  }
+  if (agg_mid && flat_mid) {
+    const double speedup = flat_mid->decision_ms_per_slot /
+                           std::max(1e-9, agg_mid->decision_ms_per_slot);
+    check(speedup >= 5.0, quick, "aggregation speedup at " + std::to_string(mid) +
+                              " requests >= 5x (x" + common::fmt(speedup, 1) +
+                              ")");
+  }
+  if (agg_lo && flat_lo) {
+    const double rel = (agg_lo->mean_delay_ms - flat_lo->mean_delay_ms) /
+                       std::max(1e-9, flat_lo->mean_delay_ms);
+    check(rel <= 0.02 && rel >= -0.02, quick,
+          "aggregated mean delay within 2% of per-request at " +
+              std::to_string(lo) + " (" + common::fmt(100.0 * rel, 2) + "%)");
+  }
+
+  write_json(points, quick);
+  std::cout << "\nwrote BENCH_scale.json\n";
+  bench::dump_telemetry();
+  return 0;
+}

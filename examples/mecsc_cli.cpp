@@ -5,7 +5,7 @@
 //
 //   mecsc_cli [--stations N] [--requests N] [--slots N] [--seed S]
 //             [--net gtitm|as1755] [--bursty] [--algos list]
-//             [--gan-steps N] [--csv]
+//             [--gan-steps N] [--csv] [--help]
 //
 //   --algos   comma-separated subset of: ol_gd, ol_reg, ol_gan, greedy,
 //             pri (default: ol_gd,greedy,pri; ol_gan/ol_reg imply
@@ -22,6 +22,7 @@
 
 #include "algorithms/baselines.h"
 #include "algorithms/ol_gd.h"
+#include "common/env_catalog.h"
 #include "common/table.h"
 #include "predict/gan_predictor.h"
 #include "sim/scenario.h"
@@ -37,13 +38,29 @@ struct CliOptions {
   bool csv = false;
 };
 
+void print_usage(std::ostream& out) {
+  out << "usage: mecsc_cli [--stations N] [--requests N] [--slots N]\n"
+      << "                 [--seed S] [--net gtitm|as1755] [--bursty]\n"
+      << "                 [--algos ol_gd,ol_reg,ol_gan,greedy,pri]\n"
+      << "                 [--gan-steps N] [--csv] [--help]\n";
+}
+
 [[noreturn]] void usage_error(const std::string& message) {
-  std::cerr << "mecsc_cli: " << message << "\n"
-            << "usage: mecsc_cli [--stations N] [--requests N] [--slots N]\n"
-            << "                 [--seed S] [--net gtitm|as1755] [--bursty]\n"
-            << "                 [--algos ol_gd,ol_reg,ol_gan,greedy,pri]\n"
-            << "                 [--gan-steps N] [--csv]\n";
+  std::cerr << "mecsc_cli: " << message << "\n";
+  print_usage(std::cerr);
   std::exit(2);
+}
+
+// --help: flags plus the environment-variable catalogue. The table comes
+// from common::env_catalog() — the same source of truth the README table
+// is checked against in CI — so this help text cannot drift from the
+// code.
+[[noreturn]] void print_help() {
+  print_usage(std::cout);
+  std::cout << "\nEnvironment variables (shared across the bench/example "
+               "binaries):\n"
+            << common::env_catalog_table();
+  std::exit(0);
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -80,7 +97,9 @@ CliOptions parse(int argc, char** argv) {
 
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
-    if (a == "--stations") {
+    if (a == "--help" || a == "-h") {
+      print_help();
+    } else if (a == "--stations") {
       opt.scenario.num_stations = parse_count(need_value(i), "--stations");
     } else if (a == "--requests") {
       opt.scenario.workload.num_requests = parse_count(need_value(i), "--requests");
@@ -116,6 +135,7 @@ CliOptions parse(int argc, char** argv) {
 std::unique_ptr<algorithms::CachingAlgorithm> make_algorithm(
     const std::string& name, sim::Scenario& s, const CliOptions& opt) {
   algorithms::OlOptions ol;
+  ol.aggregate = s.aggregate_mode();  // one env resolution, at scenario build
   if (name == "ol_gd") {
     return algorithms::make_ol_gd(s.problem(), s.demands(), ol,
                                   s.algorithm_seed(0));

@@ -24,10 +24,13 @@ class CachingAlgorithm {
  public:
   virtual ~CachingAlgorithm() = default;
 
+  /// Display name used in tables and RunResult::algorithm.
   virtual std::string name() const = 0;
 
+  /// Chooses slot t's assignment before the slot's ground truth is known.
   virtual core::Assignment decide(std::size_t t) = 0;
 
+  /// Reveals slot t's ground truth after the decision was scored.
   virtual void observe(std::size_t t, const core::Assignment& decision,
                        const std::vector<double>& true_demands,
                        const std::vector<double>& realized_unit_delays) = 0;

@@ -31,14 +31,19 @@ class HistoricalBaseline : public CachingAlgorithm {
                      std::vector<double> historical_estimates,
                      bool refine_with_observations = false);
 
+  /// The display name passed at construction.
   std::string name() const override { return name_; }
+  /// Optionally refines the historical estimates (see the constructor).
   void observe(std::size_t t, const core::Assignment& decision,
                const std::vector<double>& true_demands,
                const std::vector<double>& realized_unit_delays) override;
 
  protected:
+  /// The bound problem instance.
   const core::CachingProblem& problem() const noexcept { return *problem_; }
+  /// The true per-slot demand matrix the baselines decide on.
   const workload::DemandMatrix& demands() const noexcept { return *demands_; }
+  /// The (possibly refined) historical delay estimate of `station`.
   double theta_hist(std::size_t station) const { return theta_hist_.at(station); }
 
  private:
@@ -58,12 +63,16 @@ class HistoricalBaseline : public CachingAlgorithm {
 /// this baseline trails Pri_GD in the paper's figures.
 class GreedyPerStation final : public HistoricalBaseline {
  public:
+  /// Binds to the problem, the true demands, and one stale delay
+  /// estimate per station.
   GreedyPerStation(const core::CachingProblem& problem,
                    const workload::DemandMatrix* demands,
                    std::vector<double> historical_estimates);
+  /// Round-robin greedy claiming (see the class comment).
   core::Assignment decide(std::size_t t) override;
 };
 
+/// Factory for the Greedy_GD baseline.
 std::unique_ptr<CachingAlgorithm> make_greedy_gd(
     const core::CachingProblem& problem, const workload::DemandMatrix& demands,
     std::vector<double> historical_estimates);
@@ -74,15 +83,19 @@ std::unique_ptr<CachingAlgorithm> make_greedy_gd(
 /// station first.
 class PriorityBaseline final : public HistoricalBaseline {
  public:
+  /// Binds to the problem, the true demands, and one stale delay
+  /// estimate per station; precomputes the per-request priorities.
   PriorityBaseline(const core::CachingProblem& problem,
                    const workload::DemandMatrix* demands,
                    std::vector<double> historical_estimates);
+  /// Priority-ordered best-station assignment (see the class comment).
   core::Assignment decide(std::size_t t) override;
 
  private:
   std::vector<std::size_t> priority_;  // per request
 };
 
+/// Factory for the Pri_GD baseline.
 std::unique_ptr<CachingAlgorithm> make_pri_gd(
     const core::CachingProblem& problem, const workload::DemandMatrix& demands,
     std::vector<double> historical_estimates);

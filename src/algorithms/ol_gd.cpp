@@ -40,7 +40,8 @@ OnlineCachingAlgorithm::OnlineCachingAlgorithm(std::string name,
       options_(options),
       solver_(problem),
       bandit_(make_bandit(problem, options)),
-      rng_(seed) {
+      rng_(seed),
+      aggregate_mode_(core::resolve_aggregate_mode(options.aggregate)) {
   MECSC_CHECK_MSG(given_demands_ != nullptr, "null demand matrix");
   MECSC_CHECK_MSG(given_demands_->num_requests() == problem.num_requests(),
                   "demand matrix / problem size mismatch");
@@ -57,7 +58,8 @@ OnlineCachingAlgorithm::OnlineCachingAlgorithm(
       options_(options),
       solver_(problem),
       bandit_(make_bandit(problem, options)),
-      rng_(seed) {
+      rng_(seed),
+      aggregate_mode_(core::resolve_aggregate_mode(options.aggregate)) {
   MECSC_CHECK_MSG(predictor_ != nullptr, "null predictor");
 }
 
@@ -87,10 +89,32 @@ core::Assignment OnlineCachingAlgorithm::decide(std::size_t t) {
   //   depth 2  flow-based degraded solve: route what fits, place the
   //            rest greedily. decide() never throws out of the slot loop
   //            for solver reasons.
+  // Demand-class aggregation (DESIGN.md §11): solve over classes, round
+  // by de-aggregation. The fallback chain below is mirrored per path.
+  const bool aggregate =
+      aggregate_mode_ == core::AggregateMode::kOn ||
+      (aggregate_mode_ == core::AggregateMode::kAuto &&
+       problem_->num_requests() >= options_.aggregation.auto_threshold);
+  last_num_classes_ = 0;
+  if (aggregate) {
+    classing_.build(*problem_, last_demands_, options_.aggregation);
+    last_num_classes_ = classing_.num_classes();
+    MECSC_COUNT("agg.slots", 1.0);
+    MECSC_GAUGE_SET("agg.classes", static_cast<double>(last_num_classes_));
+    MECSC_GAUGE_SET("agg.compression_ratio", classing_.compression_ratio());
+    MECSC_HISTOGRAM("agg.classes_per_slot",
+                    static_cast<double>(last_num_classes_));
+  }
+
   core::FractionalSolution frac;
   last_fallback_depth_ = 0;
   if (options_.use_exact_lp) {
-    core::LpFormulation lp(*problem_, last_demands_, theta);
+    // The aggregated model has one x row per class, so its shape varies
+    // slot to slot; the workspace shape check cold-starts the simplex
+    // whenever the class count changes.
+    core::LpFormulation lp =
+        aggregate ? core::LpFormulation(*problem_, classing_, theta)
+                  : core::LpFormulation(*problem_, last_demands_, theta);
     lp::SimplexOptions primary;
     primary.max_iterations = options_.lp_max_iterations;
     core::LpSolveOutcome out = lp.try_solve(lp::SimplexSolver(primary), lp_workspace_);
@@ -105,11 +129,14 @@ core::Assignment OnlineCachingAlgorithm::decide(std::size_t t) {
       frac = std::move(out.solution);
     } else {
       last_fallback_depth_ = 2;
-      frac = solver_.solve_degraded(last_demands_, theta);
+      core::SolveReport report;
+      frac = aggregate ? solver_.solve_classes(classing_, theta, &report)
+                       : solver_.solve_degraded(last_demands_, theta);
     }
   } else {
     core::SolveReport report;
-    frac = solver_.solve_degraded(last_demands_, theta, &report);
+    frac = aggregate ? solver_.solve_classes(classing_, theta, &report)
+                     : solver_.solve_degraded(last_demands_, theta, &report);
     if (report.degraded) last_fallback_depth_ = 2;
   }
   if (last_fallback_depth_ > 0) {
@@ -125,6 +152,10 @@ core::Assignment OnlineCachingAlgorithm::decide(std::size_t t) {
   MECSC_COUNT("olgd.decides", 1.0);
   MECSC_GAUGE_SET("olgd.epsilon", ropt.epsilon);  // ε trajectory's tail
   MECSC_HISTOGRAM("olgd.epsilon_trajectory", ropt.epsilon);
+  if (aggregate) {
+    return core::round_assignment_aggregated(*problem_, frac, classing_,
+                                             last_demands_, theta, ropt, rng_);
+  }
   return core::round_assignment(*problem_, frac, last_demands_, theta, ropt, rng_);
 }
 

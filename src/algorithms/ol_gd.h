@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "algorithms/algorithm.h"
+#include "core/aggregation.h"
 #include "core/bandit.h"
 #include "core/fractional_solver.h"
 #include "core/problem.h"
@@ -53,6 +54,14 @@ struct OlOptions {
   /// ε-exploration — the classical UCB1 counterpart for a minimisation
   /// bandit. Combine with EpsilonSchedule::zero() for pure UCB.
   double ucb_beta = 0.0;
+  /// Demand-class aggregation (DESIGN.md §11): formulate the per-slot LP
+  /// over (service, home station, demand bucket) classes instead of
+  /// individual requests and de-aggregate during rounding. kEnv (the
+  /// default) defers to MECSC_AGGREGATE; an explicit kOff/kAuto/kOn set
+  /// in code always wins over the environment.
+  core::AggregateMode aggregate = core::AggregateMode::kEnv;
+  /// Class-construction tunables used when aggregation is active.
+  core::AggregationOptions aggregation;
 };
 
 /// The paper's online learning algorithm (Algorithm 1, OL_GD) and its
@@ -77,12 +86,18 @@ class OnlineCachingAlgorithm final : public CachingAlgorithm {
                          std::unique_ptr<predict::DemandPredictor> predictor,
                          OlOptions options, std::uint64_t seed);
 
+  /// The display name passed at construction.
   std::string name() const override { return name_; }
+  /// Algorithm 1, lines 3-9: solve the per-slot LP under the current θ
+  /// estimates and ε-greedily round it to an integral assignment.
   core::Assignment decide(std::size_t t) override;
+  /// Algorithm 1, lines 10-11: feed the unit delays of played stations
+  /// into the per-station bandit.
   void observe(std::size_t t, const core::Assignment& decision,
                const std::vector<double>& true_demands,
                const std::vector<double>& realized_unit_delays) override;
 
+  /// The per-station delay bandit (θ estimates and play counts).
   const core::BanditState& bandit() const noexcept { return bandit_; }
   /// Demands used by the latest decide() (given or predicted) — exposed
   /// for tests and prediction-accuracy accounting.
@@ -92,6 +107,10 @@ class OnlineCachingAlgorithm final : public CachingAlgorithm {
   /// 0 = primary solve, 1 = cold Bland's-rule simplex restart, 2 = flow
   /// based degraded solve (greedy repair of unroutable demand).
   int last_fallback_depth() const noexcept { return last_fallback_depth_; }
+
+  /// Demand classes the latest decide() solved over; 0 when it ran the
+  /// per-request path (aggregation off, or kAuto below its threshold).
+  std::size_t last_num_classes() const noexcept { return last_num_classes_; }
 
  private:
   std::vector<double> demands_for(std::size_t t);
@@ -110,6 +129,12 @@ class OnlineCachingAlgorithm final : public CachingAlgorithm {
   std::vector<double> last_demands_;
   std::vector<bool> played_;  // scratch station mask for observe()
   int last_fallback_depth_ = 0;
+  // Aggregation state: the env-resolved mode (fixed at construction so a
+  // mid-run setenv cannot desynchronise replications) and the reusable
+  // per-slot classing.
+  core::AggregateMode aggregate_mode_ = core::AggregateMode::kOff;
+  core::DemandClassing classing_;
+  std::size_t last_num_classes_ = 0;
 };
 
 /// Factories matching the paper's algorithm names.

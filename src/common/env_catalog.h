@@ -1,0 +1,34 @@
+#ifndef MECSC_COMMON_ENV_CATALOG_H
+#define MECSC_COMMON_ENV_CATALOG_H
+
+#include <string>
+#include <vector>
+
+namespace mecsc::common {
+
+/// One documented environment variable of the library / bench suite.
+struct EnvVar {
+  /// Variable name ("MECSC_...").
+  const char* name;
+  /// Value type as shown to users ("size_t", "enum", "path").
+  const char* type;
+  /// Default when unset (or where the default comes from).
+  const char* default_value;
+  /// One-line effect.
+  const char* effect;
+};
+
+/// The single source of truth for every MECSC_* environment variable the
+/// code reads. `examples/mecsc_cli --help` prints this table and the CI
+/// drift guard (tools/check_env_docs.sh) fails when a variable read in
+/// the sources is missing here or in README.md's reference table — so
+/// code, CLI help and README cannot diverge silently.
+const std::vector<EnvVar>& env_catalog();
+
+/// The catalogue formatted as an aligned plain-text table (one header
+/// line, one line per variable) for --help output.
+std::string env_catalog_table();
+
+}  // namespace mecsc::common
+
+#endif  // MECSC_COMMON_ENV_CATALOG_H

@@ -26,6 +26,7 @@ class BanditState {
   /// known global bounds).
   explicit BanditState(std::vector<double> priors);
 
+  /// Number of arms (= base stations).
   std::size_t num_arms() const noexcept { return theta_.size(); }
 
   /// Records one observation of arm i's delay.
@@ -37,6 +38,7 @@ class BanditState {
   /// Number of times arm i has been played, m_i.
   std::size_t plays(std::size_t arm) const;
 
+  /// Total observations across all arms.
   std::size_t total_plays() const noexcept { return total_plays_; }
 
   /// All θ_i as a vector (the LP's delay coefficients).
@@ -56,8 +58,14 @@ class BanditState {
 /// decay; both are provided, plus zero exploration for the ablation.
 class EpsilonSchedule {
  public:
-  enum class Kind { kFixed, kDecay, kZero };
+  /// Schedule family.
+  enum class Kind {
+    kFixed,  ///< Constant ε every slot (the pseudocode's 1/4).
+    kDecay,  ///< ε_t = min(1, c / t), the analysed decay.
+    kZero,   ///< No exploration (ablation).
+  };
 
+  /// Constant ε_t = epsilon (must lie in [0, 1]).
   static EpsilonSchedule fixed(double epsilon) {
     MECSC_CHECK_MSG(epsilon >= 0.0 && epsilon <= 1.0, "epsilon out of [0,1]");
     return EpsilonSchedule(Kind::kFixed, epsilon);
@@ -68,12 +76,15 @@ class EpsilonSchedule {
     MECSC_CHECK_MSG(c > 0.0, "decay constant must be > 0");
     return EpsilonSchedule(Kind::kDecay, c);
   }
+  /// ε_t = 0: pure exploitation.
   static EpsilonSchedule zero() { return EpsilonSchedule(Kind::kZero, 0.0); }
 
   /// ε for slot t (0-based; the schedule uses t+1 internally).
   double at(std::size_t t) const;
 
+  /// The schedule family.
   Kind kind() const noexcept { return kind_; }
+  /// The family's parameter (ε for kFixed, c for kDecay, unused for kZero).
   double parameter() const noexcept { return param_; }
 
  private:

@@ -49,12 +49,17 @@ FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& deman
   // Expected resource demand per request and per service (initial
   // amortization base).
   s.res.resize(nr);
+  s.svc.resize(nr);
+  s.home.resize(nr);
   s.service_demand.assign(nk, 0.0);
   double total_flow = 0.0;
   for (std::size_t l = 0; l < nr; ++l) {
+    const auto& req = p.requests()[l];
     double res = p.resource_demand_mhz(demands[l]);
     s.res[l] = res;
-    s.service_demand[p.requests()[l].service_id] += res;
+    s.svc[l] = static_cast<std::uint32_t>(req.service_id);
+    s.home[l] = static_cast<std::uint32_t>(req.home_station);
+    s.service_demand[req.service_id] += res;
     total_flow += res;
   }
 
@@ -70,45 +75,119 @@ FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& deman
     }
   }
 
+  return flow_solve(nr, total_flow, static_cast<double>(nr), report);
+}
+
+FractionalSolution FractionalSolver::solve_classes(const DemandClassing& classing,
+                                                   const std::vector<double>& theta,
+                                                   SolveReport* report) const {
+  MECSC_SPAN("frac.solve_classes");
+  MECSC_COUNT("frac.class_solves", 1.0);
+  const CachingProblem& p = *problem_;
+  const std::size_t nc = classing.num_classes();
+  const std::size_t ns = p.num_stations();
+  const std::size_t nk = p.num_services();
+  MECSC_CHECK_MSG(classing.num_requests() == p.num_requests(),
+                  "classing was built for a different problem");
+  MECSC_CHECK_MSG(theta.size() == ns, "theta vector size mismatch");
+
+  Scratch& s = s_;
+
+  // One column per demand class; its resource demand is the members'
+  // summed demand, so station capacity sees exactly the per-request load.
+  s.res.resize(nc);
+  s.svc.resize(nc);
+  s.home.resize(nc);
+  s.service_demand.assign(nk, 0.0);
+  double total_flow = 0.0;
+  const auto& classes = classing.classes();
+  for (std::size_t c = 0; c < nc; ++c) {
+    const DemandClass& cls = classes[c];
+    double res = p.resource_demand_mhz(cls.rho_sum);
+    s.res[c] = res;
+    s.svc[c] = cls.service;
+    s.home[c] = cls.home_station;
+    s.service_demand[cls.service] += res;
+    total_flow += res;
+  }
+
+  // Exact member-summed cost coefficients: Σ_l [ρ_l·(θ_i + tx_l) +
+  // access_li] over the class = rho_sum·θ_i + tx_rho_sum + count·access
+  // (members share the home station, hence the access latency, to every
+  // candidate station). Aggregation therefore loses nothing in the cost
+  // model — only the within-class freedom to split members differently.
+  s.base_cost.resize(nc * ns);
+  const bool inc_access = p.options().include_access_latency;
+  for (std::size_t c = 0; c < nc; ++c) {
+    const DemandClass& cls = classes[c];
+    const double cnt = static_cast<double>(cls.count);
+    double* row = &s.base_cost[c * ns];
+    for (std::size_t i = 0; i < ns; ++i) {
+      const double access =
+          inc_access ? p.topology().path_latency_ms(cls.home_station, i) : 0.0;
+      row[i] = cls.rho_sum * theta[i] + cls.tx_rho_sum + cnt * access;
+    }
+  }
+
+  return flow_solve(nc, total_flow,
+                    static_cast<double>(classing.num_requests()), report);
+}
+
+FractionalSolution FractionalSolver::flow_solve(std::size_t n, double total_flow,
+                                                double objective_divisor,
+                                                SolveReport* report) const {
+  const CachingProblem& p = *problem_;
+  const std::size_t ns = p.num_stations();
+  const std::size_t nk = p.num_services();
+  Scratch& s = s_;
+
+  // Network-access latency of column e at station i (identical to
+  // access_latency_ms on the request path; the class path shares one
+  // home station across members).
+  const bool inc_access = p.options().include_access_latency;
+  auto col_access = [&](std::size_t e, std::size_t i) {
+    return inc_access ? p.topology().path_latency_ms(s.home[e], i) : 0.0;
+  };
+
   // inst_base[k][i]: demand base used to amortize d_ins[i][k].
   s.inst_base.resize(nk * ns);
   for (std::size_t k = 0; k < nk; ++k) {
     std::fill_n(&s.inst_base[k * ns], ns, s.service_demand[k]);
   }
 
-  // Per-unit cost of the (l, i) arc under the current amortization base.
-  auto arc_cost = [&](std::size_t l, std::size_t i) {
-    std::size_t k = p.requests()[l].service_id;
-    double res = s.res[l];
+  // Per-unit cost of the (e, i) arc under the current amortization base.
+  auto arc_cost = [&](std::size_t e, std::size_t i) {
+    std::size_t k = s.svc[e];
+    double res = s.res[e];
     double base = std::max(s.inst_base[k * ns + i], res);
     double amortized = p.instantiation_delay_ms(i, k) * res / base;
-    return (s.base_cost[l * ns + i] + amortized) / res;
+    return (s.base_cost[e * ns + i] + amortized) / res;
   };
 
   // --- Working-set construction -------------------------------------
-  // Each request keeps arcs to its `width` most attractive stations plus
+  // Each column keeps arcs to its `width` most attractive stations plus
   // whatever stations served it on the previous solve; the optimality
   // certificate below adds anything this misses. Attractiveness is
   // cost MINUS the station's previous dual price: at a transportation
-  // optimum the basic arcs of request l minimise c_li - price_i, so
+  // optimum the basic arcs of column e minimise c_ei - price_i, so
   // ranking by that key (with last solve's prices as the congestion
   // estimate) lands the initial set on the likely optimal support
-  // instead of piling every request onto the same few cheap-but-
+  // instead of piling every column onto the same few cheap-but-
   // saturated stations.
-  s.work.resize(nr);
-  s.work_edge.resize(nr);
-  s.warm.resize(nr);
-  s.in_work.assign(nr * ns, 0);
+  s.work.resize(n);
+  s.work_edge.resize(n);
+  s.warm.resize(n);
+  s.in_work.assign(n * ns, 0);
   s.station_price.resize(ns, 0.0);
 
-  auto grow_request = [&](std::size_t l, std::size_t target) {
-    auto& w = s.work[l];
+  auto grow_column = [&](std::size_t e, std::size_t target) {
+    auto& w = s.work[e];
     if (w.size() >= target) return;
     s.cand.clear();
-    const char* mask = &s.in_work[l * ns];
+    const char* mask = &s.in_work[e * ns];
     for (std::size_t i = 0; i < ns; ++i) {
       if (!mask[i]) {
-        s.cand.emplace_back(arc_cost(l, i) - s.station_price[i],
+        s.cand.emplace_back(arc_cost(e, i) - s.station_price[i],
                             static_cast<std::uint32_t>(i));
       }
     }
@@ -118,28 +197,28 @@ FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& deman
     for (std::size_t j = 0; j < need; ++j) {
       std::uint32_t i = s.cand[j].second;
       w.push_back(i);
-      s.in_work[l * ns + i] = 1;
+      s.in_work[e * ns + i] = 1;
     }
   };
 
   std::size_t width = std::min(ns, std::max<std::size_t>(12, ns / 8));
-  for (std::size_t l = 0; l < nr; ++l) {
-    s.work[l].clear();
-    if (s.res[l] <= 0.0) continue;
+  for (std::size_t e = 0; e < n; ++e) {
+    s.work[e].clear();
+    if (s.res[e] <= 0.0) continue;
     // Warm arcs first (they carried flow last slot, so they are likely
     // basic again), then fill to `width` with the cheapest stations.
-    for (std::uint32_t i : s.warm[l]) {
-      if (!s.in_work[l * ns + i]) {
-        s.work[l].push_back(i);
-        s.in_work[l * ns + i] = 1;
+    for (std::uint32_t i : s.warm[e]) {
+      if (!s.in_work[e * ns + i]) {
+        s.work[e].push_back(i);
+        s.in_work[e * ns + i] = 1;
       }
     }
-    grow_request(l, width);
+    grow_column(e, width);
   }
 
   auto expand_width = [&](std::size_t target) {
-    for (std::size_t l = 0; l < nr; ++l) {
-      if (s.res[l] > 0.0) grow_request(l, target);
+    for (std::size_t e = 0; e < n; ++e) {
+      if (s.res[e] > 0.0) grow_column(e, target);
     }
   };
 
@@ -149,8 +228,8 @@ FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& deman
   auto union_capacity = [&]() {
     double cap = 0.0;
     for (std::size_t i = 0; i < ns; ++i) {
-      for (std::size_t l = 0; l < nr; ++l) {
-        if (s.in_work[l * ns + i]) {
+      for (std::size_t e = 0; e < n; ++e) {
+        if (s.in_work[e * ns + i]) {
           cap += p.station_capacity_mhz(i);
           break;
         }
@@ -165,28 +244,28 @@ FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& deman
   }
 
   // --- Flow network --------------------------------------------------
-  // Node layout: 0 = source, 1..nr = requests, nr+1..nr+ns = stations,
-  // nr+ns+1 = sink.
+  // Node layout: 0 = source, 1..n = columns, n+1..n+ns = stations,
+  // n+ns+1 = sink.
   const std::size_t src = 0;
-  const std::size_t sink = nr + ns + 1;
-  if (s.mcf.num_nodes() != nr + ns + 2) s.mcf = flow::MinCostFlow(nr + ns + 2);
+  const std::size_t sink = n + ns + 1;
+  if (s.mcf.num_nodes() != n + ns + 2) s.mcf = flow::MinCostFlow(n + ns + 2);
 
   s.sink_edge.resize(ns);
   auto rebuild_graph = [&]() {
     s.mcf.clear_edges();
-    for (std::size_t l = 0; l < nr; ++l) {
-      if (s.res[l] <= 0.0) continue;  // handled after the flow solve
-      s.mcf.add_edge(src, 1 + l, s.res[l], 0.0);
-      auto& w = s.work[l];
-      auto& e = s.work_edge[l];
-      e.resize(w.size());
+    for (std::size_t e = 0; e < n; ++e) {
+      if (s.res[e] <= 0.0) continue;  // handled after the flow solve
+      s.mcf.add_edge(src, 1 + e, s.res[e], 0.0);
+      auto& w = s.work[e];
+      auto& we = s.work_edge[e];
+      we.resize(w.size());
       for (std::size_t j = 0; j < w.size(); ++j) {
-        e[j] = s.mcf.add_edge(1 + l, 1 + nr + w[j], s.res[l], arc_cost(l, w[j]));
+        we[j] = s.mcf.add_edge(1 + e, 1 + n + w[j], s.res[e], arc_cost(e, w[j]));
       }
     }
     for (std::size_t i = 0; i < ns; ++i) {
       s.sink_edge[i] =
-          s.mcf.add_edge(1 + nr + i, sink, p.station_capacity_mhz(i), 0.0);
+          s.mcf.add_edge(1 + n + i, sink, p.station_capacity_mhz(i), 0.0);
     }
   };
 
@@ -208,11 +287,11 @@ FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& deman
     if (!graph_dirty) {
       // Same arc set, new amortization: update costs in place and rewind
       // the residual capacities — no allocation, no graph rebuild.
-      for (std::size_t l = 0; l < nr; ++l) {
-        if (s.res[l] <= 0.0) continue;
-        auto& w = s.work[l];
+      for (std::size_t e = 0; e < n; ++e) {
+        if (s.res[e] <= 0.0) continue;
+        auto& w = s.work[e];
         for (std::size_t j = 0; j < w.size(); ++j) {
-          s.mcf.set_cost(s.work_edge[l][j], arc_cost(l, w[j]));
+          s.mcf.set_cost(s.work_edge[e][j], arc_cost(e, w[j]));
         }
       }
       s.mcf.reset();
@@ -264,26 +343,26 @@ FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& deman
       const double psink = s.mcf.potential(sink);
       for (std::size_t i = 0; i < ns; ++i) {
         s.station_price[i] = s.mcf.edge_flow(s.sink_edge[i]) > 1e-12
-                                 ? s.mcf.potential(1 + nr + i)
+                                 ? s.mcf.potential(1 + n + i)
                                  : psink;
       }
       if (shortfall || !certify) break;
       // Scan pruned arcs for negative reduced cost. Only the two most
-      // violated arcs per request are added per iteration: the optimal
+      // violated arcs per column are added per iteration: the optimal
       // support is sparse (a transportation basis has ~2 arcs per
-      // request), so adding every violated arc would balloon the working
+      // column), so adding every violated arc would balloon the working
       // set and make each subsequent Dijkstra pass pay for arcs that will
       // never carry flow.
       s.violations.clear();
-      for (std::size_t l = 0; l < nr; ++l) {
-        if (s.res[l] <= 0.0) continue;
-        const double pl = s.mcf.potential(1 + l);
-        const char* mask = &s.in_work[l * ns];
+      for (std::size_t e = 0; e < n; ++e) {
+        if (s.res[e] <= 0.0) continue;
+        const double pe = s.mcf.potential(1 + e);
+        const char* mask = &s.in_work[e * ns];
         double rc1 = -kDualTol, rc2 = -kDualTol;  // two smallest reduced costs
         std::uint32_t i1 = ns, i2 = ns;
         for (std::size_t i = 0; i < ns; ++i) {
           if (mask[i]) continue;
-          double rc = arc_cost(l, i) + pl - s.station_price[i];
+          double rc = arc_cost(e, i) + pe - s.station_price[i];
           if (rc < rc2) {
             if (rc < rc1) {
               rc2 = rc1;
@@ -297,24 +376,24 @@ FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& deman
           }
         }
         if (i1 < ns) {
-          s.violations.emplace_back(static_cast<std::uint32_t>(l), i1);
+          s.violations.emplace_back(static_cast<std::uint32_t>(e), i1);
         }
         if (i2 < ns) {
-          s.violations.emplace_back(static_cast<std::uint32_t>(l), i2);
+          s.violations.emplace_back(static_cast<std::uint32_t>(e), i2);
         }
       }
       if (s.violations.empty()) break;
       MECSC_COUNT("frac.violated_arcs_added",
                   static_cast<double>(s.violations.size()));
-      for (auto [l, i] : s.violations) {
-        s.work[l].push_back(i);
-        s.in_work[l * ns + i] = 1;
+      for (auto [e, i] : s.violations) {
+        s.work[e].push_back(i);
+        s.in_work[e * ns + i] = 1;
       }
       graph_dirty = true;
     }
 
     // Extract x / y and re-price from realised per-instance demand.
-    s.x.assign(nr * ns, 0.0);
+    s.x.assign(n * ns, 0.0);
     s.y.assign(nk * ns, 0.0);
     s.attracted.assign(nk * ns, 0.0);
     if (shortfall) {
@@ -326,10 +405,10 @@ FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& deman
       }
     }
     double xcost = 0.0;  // sum over x of the true (non-amortized) cost
-    for (std::size_t l = 0; l < nr; ++l) {
-      std::size_t k = p.requests()[l].service_id;
-      if (s.res[l] <= 0.0) {
-        // Zero-demand request: pin to its cheapest *up* station (no
+    for (std::size_t e = 0; e < n; ++e) {
+      std::size_t k = s.svc[e];
+      if (s.res[e] <= 0.0) {
+        // Zero-demand column: pin to its cheapest *up* station (no
         // capacity use, no instantiation pressure). Down stations are
         // skipped so shed/idle requests never ride out a slot on an
         // outaged host.
@@ -337,29 +416,29 @@ FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& deman
         double best_cost = std::numeric_limits<double>::infinity();
         for (std::size_t i = 0; i < ns; ++i) {
           if (!p.station_up(i)) continue;
-          double c = p.access_latency_ms(l, i);
+          double c = col_access(e, i);
           if (c < best_cost) {
             best_cost = c;
             best_i = i;
           }
         }
-        s.x[l * ns + best_i] = 1.0;
+        s.x[e * ns + best_i] = 1.0;
         s.y[k * ns + best_i] = std::max(s.y[k * ns + best_i], 1.0);
-        xcost += s.base_cost[l * ns + best_i];
+        xcost += s.base_cost[e * ns + best_i];
         continue;
       }
-      auto& w = s.work[l];
+      auto& w = s.work[e];
       double placed = 0.0;
       for (std::size_t j = 0; j < w.size(); ++j) {
-        double xli =
-            std::clamp(s.mcf.edge_flow(s.work_edge[l][j]) / s.res[l], 0.0, 1.0);
-        if (xli <= 0.0) continue;
+        double xei =
+            std::clamp(s.mcf.edge_flow(s.work_edge[e][j]) / s.res[e], 0.0, 1.0);
+        if (xei <= 0.0) continue;
         std::size_t i = w[j];
-        s.x[l * ns + i] = xli;
-        s.y[k * ns + i] = std::max(s.y[k * ns + i], xli);
-        s.attracted[k * ns + i] += xli * s.res[l];
-        xcost += xli * s.base_cost[l * ns + i];
-        placed += xli;
+        s.x[e * ns + i] = xei;
+        s.y[k * ns + i] = std::max(s.y[k * ns + i], xei);
+        s.attracted[k * ns + i] += xei * s.res[e];
+        xcost += xei * s.base_cost[e * ns + i];
+        placed += xei;
       }
       if (shortfall && placed < 1.0 - 1e-9) {
         // Greedy repair of the unrouted fraction: cheapest up station
@@ -367,7 +446,7 @@ FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& deman
         // capacity (capacity violated, but Σx = 1 is preserved and the
         // overload is scored honestly by the true-cost objective).
         double leftover = 1.0 - placed;
-        double extra = leftover * s.res[l];
+        double extra = leftover * s.res[e];
         std::size_t best_i = ns;
         double best_cost = std::numeric_limits<double>::infinity();
         std::size_t spill_i = ns;
@@ -381,7 +460,7 @@ FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& deman
             spill_i = i;
           }
           if (room + 1e-9 < extra) continue;
-          double c = arc_cost(l, i);
+          double c = arc_cost(e, i);
           if (c < best_cost) {
             best_cost = c;
             best_i = i;
@@ -390,11 +469,11 @@ FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& deman
         if (best_i == ns) best_i = spill_i;
         if (best_i == ns) best_i = 0;  // whole network down: arbitrary host
         s.station_load[best_i] += extra;
-        double xli = s.x[l * ns + best_i] + leftover;
-        s.x[l * ns + best_i] = xli;
-        s.y[k * ns + best_i] = std::max(s.y[k * ns + best_i], xli);
+        double xei = s.x[e * ns + best_i] + leftover;
+        s.x[e * ns + best_i] = xei;
+        s.y[k * ns + best_i] = std::max(s.y[k * ns + best_i], xei);
         s.attracted[k * ns + best_i] += extra;
-        xcost += leftover * s.base_cost[l * ns + best_i];
+        xcost += leftover * s.base_cost[e * ns + best_i];
       }
     }
     double ycost = 0.0;
@@ -404,7 +483,7 @@ FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& deman
         if (yki > 0.0) ycost += yki * p.instantiation_delay_ms(i, k);
       }
     }
-    double objective = (xcost + ycost) / static_cast<double>(nr);
+    double objective = (xcost + ycost) / objective_divisor;
 
     bool improved =
         !have_best || objective < best_objective - 1e-9 * (1.0 + objective);
@@ -421,20 +500,20 @@ FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& deman
     std::swap(s.inst_base, s.attracted);
   }
 
-  // Remember which stations carried each request's flow — next solve's
+  // Remember which stations carried each column's flow — next solve's
   // warm arcs (demands and θ drift slowly between slots, so the same
   // arcs tend to be basic again).
-  for (std::size_t l = 0; l < nr; ++l) {
-    s.warm[l].clear();
-    const double* row = &s.x_best[l * ns];
+  for (std::size_t e = 0; e < n; ++e) {
+    s.warm[e].clear();
+    const double* row = &s.x_best[e * ns];
     for (std::size_t i = 0; i < ns; ++i) {
-      if (row[i] > 1e-12) s.warm[l].push_back(static_cast<std::uint32_t>(i));
+      if (row[i] > 1e-12) s.warm[e].push_back(static_cast<std::uint32_t>(i));
     }
   }
 
   if (obs::enabled()) {
     std::size_t working_arcs = 0;
-    for (std::size_t l = 0; l < nr; ++l) working_arcs += s.work[l].size();
+    for (std::size_t e = 0; e < n; ++e) working_arcs += s.work[e].size();
     obs::current()
         .histogram("frac.working_arcs")
         .observe(static_cast<double>(working_arcs));
@@ -442,9 +521,9 @@ FractionalSolution FractionalSolver::solve_impl(const std::vector<double>& deman
 
   FractionalSolution out;
   out.objective = best_objective;
-  out.x.assign(nr, std::vector<double>(ns));
-  for (std::size_t l = 0; l < nr; ++l) {
-    std::copy_n(&s.x_best[l * ns], ns, out.x[l].begin());
+  out.x.assign(n, std::vector<double>(ns));
+  for (std::size_t e = 0; e < n; ++e) {
+    std::copy_n(&s.x_best[e * ns], ns, out.x[e].begin());
   }
   out.y.assign(nk, std::vector<double>(ns));
   for (std::size_t k = 0; k < nk; ++k) {

@@ -4,10 +4,22 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/aggregation.h"
 #include "core/problem.h"
 #include "flow/min_cost_flow.h"
 
 namespace mecsc::core {
+
+/// Outcome annotations of a degraded-mode solve (solve_degraded /
+/// solve_classes with a non-null report).
+struct SolveReport {
+  /// True when the flow solver could not route the full demand and the
+  /// remainder was placed greedily (station capacities may then be
+  /// exceeded; the reported objective still scores the true Eq. 3 cost).
+  bool degraded = false;
+  /// Resource demand (MHz) the flow solver failed to route.
+  double unrouted_mhz = 0.0;
+};
 
 /// Scalable solver for the per-slot LP relaxation, used inside OL_GD on
 /// every time slot (Algorithm 1 line 3-4 at network sizes where the
@@ -42,23 +54,20 @@ namespace mecsc::core {
 /// reused across solves, so steady-state per-slot solves allocate
 /// nothing.
 ///
+/// Scaling (DESIGN.md §11): the flow core is column-generic — a column
+/// is either one request or one demand class (solve_classes). With
+/// aggregation the identical machinery runs over |classes| columns
+/// instead of |R|, which is what keeps 100k-request slots inside the
+/// slot budget.
+///
 /// Thread safety: the reusable scratch state makes concurrent solve()
 /// calls on one instance a data race. Give each worker its own solver
 /// (they are cheap); `sim::ParallelReplicationRunner` replications each
 /// construct their own algorithm instances and therefore their own
 /// solvers.
-/// Outcome annotations of a degraded-mode solve (solve_degraded).
-struct SolveReport {
-  /// True when the flow solver could not route the full demand and the
-  /// remainder was placed greedily (station capacities may then be
-  /// exceeded; the reported objective still scores the true Eq. 3 cost).
-  bool degraded = false;
-  /// Resource demand (MHz) the flow solver failed to route.
-  double unrouted_mhz = 0.0;
-};
-
 class FractionalSolver {
  public:
+  /// Binds the solver to `problem` (non-owning; must outlive the solver).
   explicit FractionalSolver(const CachingProblem& problem) : problem_(&problem) {}
 
   /// Solves for one slot; throws Infeasible when demand cannot be fully
@@ -79,36 +88,63 @@ class FractionalSolver {
                                     const std::vector<double>& theta,
                                     SolveReport* report = nullptr) const;
 
+  /// Aggregated counterpart of solve()/solve_degraded(): solves the
+  /// transportation relaxation over the classing's demand classes —
+  /// columns x_{class,i} with the class's summed resource demand and the
+  /// exact member-summed cost coefficients — and returns a *class-level*
+  /// fractional solution (one x row per class, in classing order; the
+  /// objective is still the per-request Eq. 3 average). De-aggregate
+  /// with round_assignment_aggregated, or expand x_li := x_{class(l),i}.
+  /// With a null `report` a capacity shortfall throws Infeasible; with a
+  /// non-null one the solve degrades gracefully exactly like
+  /// solve_degraded ("solve_degraded accepts classes").
+  FractionalSolution solve_classes(const DemandClassing& classing,
+                                   const std::vector<double>& theta,
+                                   SolveReport* report = nullptr) const;
+
   /// Evaluates the exact Eq.-3 objective of a fractional solution
   /// (average per-request delay, ms) with y_ki = max_l x_li.
   double objective(const FractionalSolution& sol, const std::vector<double>& demands,
                    const std::vector<double>& theta) const;
 
  private:
-  /// Shared implementation: throws on shortfall when `report` is null,
-  /// degrades gracefully when it is not.
+  /// Request-path implementation: fills the per-column scratch from the
+  /// per-request demands, then runs the shared flow core. Throws on
+  /// shortfall when `report` is null, degrades gracefully when it is not.
   FractionalSolution solve_impl(const std::vector<double>& demands,
                                 const std::vector<double>& theta,
                                 SolveReport* report) const;
 
-  /// Reusable buffers; sized on first solve, reused afterwards.
+  /// Column-generic flow core shared by the request and class paths.
+  /// Expects s_.res / s_.svc / s_.home / s_.base_cost / s_.service_demand
+  /// prefilled for `n` columns; `objective_divisor` is the request count
+  /// the Eq. 3 average divides by (= n on the request path).
+  FractionalSolution flow_solve(std::size_t n, double total_flow,
+                                double objective_divisor,
+                                SolveReport* report) const;
+
+  /// Reusable buffers; sized on first solve, reused afterwards. A
+  /// "column" below is a request (solve/solve_degraded) or a demand
+  /// class (solve_classes).
   struct Scratch {
     flow::MinCostFlow mcf{0};
-    std::vector<double> res;             // per request, resource demand (MHz)
+    std::vector<double> res;             // per column, resource demand (MHz)
+    std::vector<std::uint32_t> svc;      // per column, service id
+    std::vector<std::uint32_t> home;     // per column, home station
     std::vector<double> service_demand;  // per service, expected demand
-    std::vector<double> base_cost;       // nr×ns, cost minus amortized part
+    std::vector<double> base_cost;       // n×ns, cost minus amortized part
     std::vector<double> inst_base;       // nk×ns amortization base
     std::vector<double> attracted;       // nk×ns realised per-instance demand
-    std::vector<double> x;               // nr×ns current round
+    std::vector<double> x;               // n×ns current round
     std::vector<double> y;               // nk×ns current round
-    std::vector<double> x_best;          // nr×ns best round so far
+    std::vector<double> x_best;          // n×ns best round so far
     std::vector<double> y_best;          // nk×ns
-    std::vector<std::vector<std::uint32_t>> work;       // station ids per request
+    std::vector<std::vector<std::uint32_t>> work;       // station ids per column
     std::vector<std::vector<std::size_t>> work_edge;    // edge id per working arc
     std::vector<std::size_t> sink_edge;  // per station, edge id of station→sink
     std::vector<double> station_price;   // per station, certificate dual
     std::vector<double> station_load;    // per station, degraded-mode load (MHz)
-    std::vector<char> in_work;           // nr×ns membership mask
+    std::vector<char> in_work;           // n×ns membership mask
     std::vector<std::pair<double, std::uint32_t>> cand;  // sort buffer
     std::vector<std::pair<std::uint32_t, std::uint32_t>> violations;
     std::vector<std::vector<std::uint32_t>> warm;  // previous solve's flow arcs

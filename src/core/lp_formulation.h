@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/aggregation.h"
 #include "core/problem.h"
 #include "lp/model.h"
 #include "lp/simplex.h"
@@ -12,8 +13,8 @@ namespace mecsc::core {
 /// Status-annotated result of LpFormulation::try_solve. `solution` is
 /// meaningful only when `status == lp::SolveStatus::kOptimal`.
 struct LpSolveOutcome {
-  lp::SolveStatus status = lp::SolveStatus::kIterationLimit;
-  FractionalSolution solution;
+  lp::SolveStatus status = lp::SolveStatus::kIterationLimit;  ///< Simplex exit status.
+  FractionalSolution solution;  ///< Valid only when status is kOptimal.
 };
 
 /// Builds and solves the paper's exact per-slot LP relaxation
@@ -28,9 +29,23 @@ class LpFormulation {
   LpFormulation(const CachingProblem& problem, const std::vector<double>& demands,
                 const std::vector<double>& theta);
 
+  /// Aggregated formulation (DESIGN.md §11): one x column per demand
+  /// class of `classing` instead of one per request, with the exact
+  /// member-summed cost and capacity coefficients, so the model shrinks
+  /// by the classing's compression ratio while the optimum (restricted
+  /// to class-uniform solutions) keeps the per-request Eq. 3 objective.
+  /// try_solve / solve then return a *class-level* FractionalSolution —
+  /// de-aggregate with round_assignment_aggregated.
+  LpFormulation(const CachingProblem& problem, const DemandClassing& classing,
+                const std::vector<double>& theta);
+
+  /// The materialised LP model (for inspection or external solvers).
   const lp::Model& model() const noexcept { return model_; }
 
-  std::size_t x_var(std::size_t request, std::size_t station) const;
+  /// Column index of x_{row,i}; a row is a request (per-request ctor) or
+  /// a demand class (aggregated ctor).
+  std::size_t x_var(std::size_t row, std::size_t station) const;
+  /// Column index of y_{k,i}.
   std::size_t y_var(std::size_t service, std::size_t station) const;
 
   /// Solves the LP and unpacks x/y. Throws Infeasible when the LP has no
@@ -52,7 +67,9 @@ class LpFormulation {
 
  private:
   const CachingProblem& problem_;
-  std::size_t num_requests_;
+  /// Rows of the x block: |R| (per-request ctor) or |classes|
+  /// (aggregated ctor).
+  std::size_t num_rows_;
   std::size_t num_stations_;
   std::size_t num_services_;
   lp::Model model_;

@@ -29,8 +29,8 @@ struct ProblemOptions {
   /// Spread of the per-station instantiation-delay factor: d_ins[i][k] =
   /// base_k * factor_i with factor_i uniform in [lo, hi]. Macro stations
   /// (beefier cloudlets) get the low end.
-  double inst_factor_lo = 0.6;
-  double inst_factor_hi = 1.6;
+  double inst_factor_lo = 0.6;  ///< Low end of the factor spread (macro tier).
+  double inst_factor_hi = 1.6;  ///< High end of the factor spread (femto tier).
   /// Charge the user -> home-station wireless hop (truncated-Shannon
   /// rate from the §VI.A radio parameters, bandwidth shared among the
   /// users homed at the station). The hop is identical for every
@@ -50,18 +50,28 @@ struct ProblemOptions {
 /// realised delays, bandit estimates — lives outside.
 class CachingProblem {
  public:
+  /// Binds the instance to `topology` (non-owning; must outlive the
+  /// problem) and draws the per-(station, service) instantiation delays
+  /// from `rng`.
   CachingProblem(const net::Topology* topology,
                  std::vector<workload::Service> services,
                  std::vector<workload::Request> requests,
                  ProblemOptions options, common::Rng& rng);
 
+  /// The MEC network the instance lives on.
   const net::Topology& topology() const noexcept { return *topology_; }
+  /// The service catalogue (the paper's S).
   const std::vector<workload::Service>& services() const noexcept { return services_; }
+  /// The request population (the paper's R).
   const std::vector<workload::Request>& requests() const noexcept { return requests_; }
+  /// The options the instance was built with.
   const ProblemOptions& options() const noexcept { return options_; }
 
+  /// |BS|, the number of base stations.
   std::size_t num_stations() const noexcept { return topology_->num_stations(); }
+  /// |S|, the number of services.
   std::size_t num_services() const noexcept { return services_.size(); }
+  /// |R|, the number of requests.
   std::size_t num_requests() const noexcept { return requests_.size(); }
 
   /// Instantiation delay d_ins[i][k] (ms) of caching service k at
@@ -148,9 +158,9 @@ class CachingProblem {
 /// (assignment fractions), y[k][i] in [0,1] (caching fractions), and the
 /// objective value (average per-request delay, ms).
 struct FractionalSolution {
-  std::vector<std::vector<double>> x;
-  std::vector<std::vector<double>> y;
-  double objective = 0.0;
+  std::vector<std::vector<double>> x;  ///< x[l][i]: fraction of request l at station i.
+  std::vector<std::vector<double>> y;  ///< y[k][i]: cached fraction of service k at station i.
+  double objective = 0.0;  ///< Eq. 3 value: average per-request delay (ms).
 };
 
 }  // namespace mecsc::core

@@ -31,6 +31,7 @@ double theorem1_bound(double sigma, std::size_t horizon, double c);
 /// integral optimum, so the reported regret is an upper estimate).
 class RegretTracker {
  public:
+  /// Binds to `problem` (non-owning; must outlive the tracker).
   explicit RegretTracker(const CachingProblem& problem);
 
   /// Records one slot. `realized_delay` is the algorithm's realised
@@ -39,9 +40,13 @@ class RegretTracker {
   void record(double realized_delay, const std::vector<double>& demands,
               const std::vector<double>& true_unit_delays);
 
+  /// Number of slots recorded so far.
   std::size_t slots() const noexcept { return per_slot_regret_.size(); }
+  /// Total regret accumulated so far.
   double cumulative_regret() const noexcept { return cumulative_; }
+  /// Per-slot regret values in slot order.
   const std::vector<double>& per_slot_regret() const noexcept { return per_slot_regret_; }
+  /// Per-slot hindsight-optimal average delays in slot order.
   const std::vector<double>& per_slot_optimum() const noexcept { return per_slot_optimum_; }
 
   /// Cumulative regret after each slot (prefix sums).

@@ -46,18 +46,30 @@ double serve_cost(const CachingProblem& p, std::size_t l, std::size_t i,
   return rho * theta[i] + p.access_latency_ms(l, i);
 }
 
-}  // namespace
-
-Assignment round_assignment(const CachingProblem& problem,
-                            const FractionalSolution& frac,
-                            const std::vector<double>& demands,
-                            const std::vector<double>& theta,
-                            const RoundingOptions& options, common::Rng& rng) {
+/// Shared rounding core. `row_of` maps each request to its row in
+/// `frac.x` / the candidate sets: null means the identity (per-request
+/// fractional solution); non-null means `frac` is class-level and every
+/// member request rounds against its class's row (uniform de-aggregation
+/// x_li := x_{class(l),i}).
+Assignment round_impl(const CachingProblem& problem,
+                      const FractionalSolution& frac,
+                      const std::vector<std::uint32_t>* row_of,
+                      const std::vector<double>& demands,
+                      const std::vector<double>& theta,
+                      const RoundingOptions& options, common::Rng& rng) {
   const std::size_t nr = problem.num_requests();
   const std::size_t ns = problem.num_stations();
-  MECSC_CHECK(frac.x.size() == nr && demands.size() == nr && theta.size() == ns);
+  MECSC_CHECK(demands.size() == nr && theta.size() == ns);
+  if (row_of == nullptr) {
+    MECSC_CHECK(frac.x.size() == nr);
+  } else {
+    MECSC_CHECK(row_of->size() == nr);
+  }
   MECSC_CHECK_MSG(options.epsilon >= 0.0 && options.epsilon <= 1.0,
                   "epsilon out of [0,1]");
+  auto row = [&](std::size_t l) {
+    return row_of == nullptr ? l : static_cast<std::size_t>((*row_of)[l]);
+  };
 
   auto candi = candidate_sets(frac, options.gamma);
   if (obs::enabled()) {
@@ -77,7 +89,8 @@ Assignment round_assignment(const CachingProblem& problem,
                        : rng.uniform() >= 1.0 - options.epsilon;
     explored[l] = explore;
     if (!explore) {
-      a.station_of_request[l] = sample_candidate(frac.x[l], candi[l], rng);
+      a.station_of_request[l] =
+          sample_candidate(frac.x[row(l)], candi[row(l)], rng);
       continue;
     }
     // Exploration: uniformly random *up* station outside the candidate
@@ -88,7 +101,8 @@ Assignment round_assignment(const CachingProblem& problem,
     others.reserve(ns);
     for (std::size_t i = 0; i < ns; ++i) {
       if (!problem.station_up(i)) continue;
-      if (std::find(candi[l].begin(), candi[l].end(), i) == candi[l].end()) {
+      const auto& cl = candi[row(l)];
+      if (std::find(cl.begin(), cl.end(), i) == cl.end()) {
         others.push_back(i);
       }
     }
@@ -115,6 +129,7 @@ Assignment round_assignment(const CachingProblem& problem,
     load[a.station_of_request[l]] += problem.resource_demand_mhz(demands[l]);
   }
   // Requests at each station, sorted by ascending fractional commitment.
+  double spilled = 0.0;
   for (std::size_t i = 0; i < ns; ++i) {
     if (load[i] <= cap[i]) continue;
     std::vector<std::size_t> here;
@@ -122,18 +137,19 @@ Assignment round_assignment(const CachingProblem& problem,
       if (a.station_of_request[l] == i) here.push_back(l);
     }
     std::sort(here.begin(), here.end(), [&](std::size_t a_l, std::size_t b_l) {
-      return frac.x[a_l][i] < frac.x[b_l][i];
+      return frac.x[row(a_l)][i] < frac.x[row(b_l)][i];
     });
     for (std::size_t l : here) {
       if (load[i] <= cap[i]) break;
       double res = problem.resource_demand_mhz(demands[l]);
       // Cheapest alternative with room; prefer candidates.
+      const auto& cl = candi[row(l)];
       std::size_t best = ns;
       double best_cost = std::numeric_limits<double>::infinity();
       bool best_is_candidate = false;
       for (std::size_t j = 0; j < ns; ++j) {
         if (j == i || cap[j] <= 0.0 || load[j] + res > cap[j]) continue;
-        bool is_candi = std::find(candi[l].begin(), candi[l].end(), j) != candi[l].end();
+        bool is_candi = std::find(cl.begin(), cl.end(), j) != cl.end();
         double c = serve_cost(problem, l, j, demands[l], theta);
         if ((is_candi && !best_is_candidate) ||
             (is_candi == best_is_candidate && c < best_cost)) {
@@ -146,8 +162,13 @@ Assignment round_assignment(const CachingProblem& problem,
       a.station_of_request[l] = best;
       load[i] -= res;
       load[best] += res;
+      spilled += 1.0;
     }
   }
+  // De-aggregation spill: members of one class land on one station with
+  // the class's full weight, so aggregated rounding leans harder on the
+  // repair pass. The counter makes that visible.
+  if (row_of != nullptr) MECSC_COUNT("agg.spill_requests", spilled);
 
   // Local improvement on the exploit branch: randomized rounding leaves
   // per-request variance, and independently sampled requests of one
@@ -177,7 +198,7 @@ Assignment round_assignment(const CachingProblem& problem,
                                 : 0.0;
       std::size_t best_to = from;
       double best_delta = -1e-9;
-      for (std::size_t j : candi[l]) {
+      for (std::size_t j : candi[row(l)]) {
         if (j == from || cap[j] <= 0.0 || load[j] + res > cap[j]) continue;
         double open_cost = users_of[cell(k, j)].empty()
                                ? problem.instantiation_delay_ms(j, k)
@@ -203,6 +224,31 @@ Assignment round_assignment(const CachingProblem& problem,
 
   a.cached = derive_cached(problem, a.station_of_request);
   return a;
+}
+
+}  // namespace
+
+Assignment round_assignment(const CachingProblem& problem,
+                            const FractionalSolution& frac,
+                            const std::vector<double>& demands,
+                            const std::vector<double>& theta,
+                            const RoundingOptions& options, common::Rng& rng) {
+  return round_impl(problem, frac, nullptr, demands, theta, options, rng);
+}
+
+Assignment round_assignment_aggregated(const CachingProblem& problem,
+                                       const FractionalSolution& class_frac,
+                                       const DemandClassing& classing,
+                                       const std::vector<double>& demands,
+                                       const std::vector<double>& theta,
+                                       const RoundingOptions& options,
+                                       common::Rng& rng) {
+  MECSC_CHECK_MSG(class_frac.x.size() == classing.num_classes(),
+                  "fractional solution is not class-level");
+  MECSC_CHECK_MSG(classing.num_requests() == problem.num_requests(),
+                  "classing was built for a different problem");
+  return round_impl(problem, class_frac, &classing.class_of_request(), demands,
+                    theta, options, rng);
 }
 
 }  // namespace mecsc::core

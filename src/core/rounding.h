@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/aggregation.h"
 #include "core/assignment.h"
 #include "core/problem.h"
 
@@ -47,6 +48,29 @@ Assignment round_assignment(const CachingProblem& problem,
                             const std::vector<double>& demands,
                             const std::vector<double>& theta,
                             const RoundingOptions& options, common::Rng& rng);
+
+/// De-aggregating variant of round_assignment (DESIGN.md §11): takes a
+/// *class-level* fractional solution (one x row per demand class of
+/// `classing`, as produced by FractionalSolver::solve_classes or the
+/// aggregated LpFormulation) and rounds every member request against its
+/// class's row — i.e. the uniform expansion x_li := x_{class(l),i}.
+///
+/// Because each member samples independently from the class row, the
+/// per-request assignment distribution is exactly what per-request
+/// rounding of the expanded solution would produce: candidate sets,
+/// ε-greedy exploration, the bandit's observe() feedback and the
+/// realised Eq. 3 objective are all unchanged in expectation. Capacity
+/// repair and the 1-opt pass run at per-request granularity, so the
+/// final assignment satisfies the same per-request constraints as the
+/// unaggregated path; requests the repair pass relocates are counted by
+/// the `agg.spill_requests` telemetry counter.
+Assignment round_assignment_aggregated(const CachingProblem& problem,
+                                       const FractionalSolution& class_frac,
+                                       const DemandClassing& classing,
+                                       const std::vector<double>& demands,
+                                       const std::vector<double>& theta,
+                                       const RoundingOptions& options,
+                                       common::Rng& rng);
 
 }  // namespace mecsc::core
 

@@ -12,13 +12,13 @@ namespace mecsc::fault {
 
 /// Per-slot fault summary the simulator folds into its SlotRecord.
 struct SlotFaultSummary {
-  std::size_t active_outages = 0;   // stations down this slot
-  std::size_t newly_down = 0;       // up in t-1, down in t (evict caches)
-  std::size_t recovered = 0;        // down in t-1, up in t (re-instantiate)
-  std::size_t derated = 0;          // up but serving below full capacity
-  std::size_t censored = 0;         // stations whose d_i(t) is lost
-  std::size_t shed_requests = 0;    // admission control deferrals
-  bool flash_crowd = false;
+  std::size_t active_outages = 0;  ///< Stations down this slot.
+  std::size_t newly_down = 0;      ///< Up in t-1, down in t (evict caches).
+  std::size_t recovered = 0;       ///< Down in t-1, up in t (re-instantiate).
+  std::size_t derated = 0;         ///< Up but serving below full capacity.
+  std::size_t censored = 0;        ///< Stations whose d_i(t) is lost.
+  std::size_t shed_requests = 0;   ///< Admission-control deferrals.
+  bool flash_crowd = false;        ///< A flash crowd peaks this slot.
   /// Total delay penalty (ms, pre-averaging) the shed requests incur.
   double shed_penalty_ms = 0.0;
 };
@@ -54,12 +54,16 @@ class FaultInjector {
   /// Restores the problem's full static capacities.
   void end_run();
 
+  /// The materialised fault schedule being applied.
   const FaultPlan& plan() const noexcept { return plan_; }
+  /// Slot t's fault summary (valid after begin_slot(t)).
   const SlotFaultSummary& summary(std::size_t t) const { return summaries_.at(t); }
 
+  /// True when station i serves (possibly derated) in slot t.
   bool station_up(std::size_t t, std::size_t i) const {
     return plan_.slot(t).station_up[i] != 0;
   }
+  /// True when station i's delay feedback is censored in slot t.
   bool feedback_lost(std::size_t t, std::size_t i) const {
     return plan_.slot(t).feedback_lost[i] != 0;
   }

@@ -12,7 +12,10 @@ namespace mecsc::fault {
 
 /// What MECSC_FAULTS selects: no faults (default) or the full churn
 /// model (outages + derating + censored feedback + flash crowds).
-enum class FaultMode { kOff, kChurn };
+enum class FaultMode {
+  kOff,    ///< No faults: every station up, feedback intact.
+  kChurn,  ///< Outages + derating + censored feedback + flash crowds.
+};
 
 /// Parses MECSC_FAULTS ("off" | "churn"; unset/empty = off). An
 /// unrecognised value warns on stderr and yields kOff — a silently
@@ -24,8 +27,8 @@ FaultMode mode_from_env();
 /// Macro cloudlets are engineered infrastructure (rare, short outages);
 /// femtocells churn like consumer hardware.
 struct TierChurn {
-  double mtbf_slots = 0.0;
-  double mttr_slots = 0.0;
+  double mtbf_slots = 0.0;  ///< Mean slots between failures (up-time).
+  double mttr_slots = 0.0;  ///< Mean slots to repair (down-time).
 };
 
 /// Tunables of the fault model (DESIGN.md §9). Defaults give a run with
@@ -33,16 +36,18 @@ struct TierChurn {
 /// 100-slot scale: a handful of concurrent outages, occasional capacity
 /// dips, and roughly one flash crowd per run.
 struct FaultOptions {
+  /// Master switch; kOff generates an all-up plan.
   FaultMode mode = FaultMode::kOff;
 
-  TierChurn macro{500.0, 3.0};
-  TierChurn micro{200.0, 5.0};
-  TierChurn femto{80.0, 8.0};
+  TierChurn macro{500.0, 3.0};  ///< Churn of macro-cloudlet stations.
+  TierChurn micro{200.0, 5.0};  ///< Churn of micro-cloudlet stations.
+  TierChurn femto{80.0, 8.0};   ///< Churn of femtocell stations.
 
   /// Transient capacity derating: with this per-station-slot probability
   /// an (up) station serves at a factor drawn uniformly from
   /// [derate_floor, 1).
   double derate_probability = 0.05;
+  /// Lower bound of the derating factor draw.
   double derate_floor = 0.4;
 
   /// Bandit-feedback loss: with this per-station-slot probability the
@@ -55,7 +60,9 @@ struct FaultOptions {
   /// multiplied by `flash_crowd_multiplier` for `flash_crowd_duration`
   /// slots.
   double flash_crowd_probability = 0.03;
+  /// Demand multiplier applied to the crowded cluster.
   double flash_crowd_multiplier = 4.0;
+  /// Slots a flash crowd lasts.
   std::size_t flash_crowd_duration = 3;
 
   /// Admission control: requests are shed (demand deferred to 0 for the
@@ -106,14 +113,21 @@ struct SlotFaults {
 /// whole network down), so "shed everything forever" is unreachable.
 class FaultPlan {
  public:
+  /// An empty plan (no slots; empty() is true).
   FaultPlan() = default;
 
+  /// Materialises the full schedule from (topology, horizon, options,
+  /// seed) — the only way to build a non-empty plan.
   static FaultPlan generate(const net::Topology& topology, std::size_t horizon,
                             const FaultOptions& options, std::uint64_t seed);
 
+  /// True for a default-constructed (slotless) plan.
   bool empty() const noexcept { return slots_.empty(); }
+  /// Number of slots the plan covers.
   std::size_t horizon() const noexcept { return slots_.size(); }
+  /// The options the plan was generated from.
   const FaultOptions& options() const noexcept { return options_; }
+  /// Slot t's materialised faults.
   const SlotFaults& slot(std::size_t t) const { return slots_.at(t); }
 
   /// Fraction of station-slots that are up — the availability axis of

@@ -24,9 +24,15 @@ void write_prometheus(const Registry& registry, std::ostream& out);
 /// `kind,series,count,value_or_sum,min,max,p50,p90,p99` rows.
 void write_csv(const Registry& registry, std::ostream& out);
 
-/// Export format of `dump`, derived from the output path's extension:
-/// `.prom`/`.txt` → Prometheus, `.csv` → CSV, anything else → JSONL.
-enum class ExportFormat { kJsonl, kPrometheus, kCsv };
+/// Export format of `dump`.
+enum class ExportFormat {
+  kJsonl,       ///< One JSON object per line (events + series).
+  kPrometheus,  ///< Prometheus text exposition format.
+  kCsv,         ///< One `kind,series,...` row per series.
+};
+
+/// Derives the format from the output path's extension: `.prom`/`.txt`
+/// → Prometheus, `.csv` → CSV, anything else → JSONL.
 ExportFormat format_for_path(const std::string& path);
 
 /// End-of-run dump honouring the environment: no-op when telemetry is

@@ -46,13 +46,16 @@ std::string series_key(std::string_view name, const Labels& labels);
 /// Monotonically increasing sum. Exact under concurrent `add`s.
 class Counter {
  public:
+  /// Adds `delta` (may be fractional; exact under contention).
   void add(double delta) noexcept {
     double cur = v_.load(std::memory_order_relaxed);
     while (!v_.compare_exchange_weak(cur, cur + delta,
                                      std::memory_order_relaxed)) {
     }
   }
+  /// Adds 1.
   void inc() noexcept { add(1.0); }
+  /// Current sum.
   double value() const noexcept { return v_.load(std::memory_order_relaxed); }
 
  private:
@@ -62,7 +65,9 @@ class Counter {
 /// Last-written value (ε trajectory, current loss, derived rates).
 class Gauge {
  public:
+  /// Overwrites the value (last writer wins).
   void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  /// Last-written value.
   double value() const noexcept { return v_.load(std::memory_order_relaxed); }
 
  private:
@@ -78,6 +83,8 @@ class Gauge {
 /// timing and size distributions recorded here.
 class Histogram {
  public:
+  /// Builds a histogram with the given inclusive bucket upper edges
+  /// (strictly increasing; one implicit overflow bucket is appended).
   explicit Histogram(std::vector<double> bounds);
 
   /// Default edges: 1–2.5–5 decades from 1e-3 to 1e4 — microseconds to
@@ -85,16 +92,23 @@ class Histogram {
   /// resolution for small integer sizes.
   static const std::vector<double>& default_bounds();
 
+  /// Records one observation.
   void observe(double v) noexcept;
 
+  /// Number of observations.
   std::uint64_t count() const noexcept;
+  /// Sum of observations.
   double sum() const noexcept;
-  double min() const noexcept;  // +inf when empty
-  double max() const noexcept;  // -inf when empty
+  /// Smallest observation (+inf when empty).
+  double min() const noexcept;
+  /// Largest observation (-inf when empty).
+  double max() const noexcept;
+  /// Mean observation (0 when empty).
   double mean() const noexcept;
   /// q in [0, 1]; returns 0 when the histogram is empty.
   double quantile(double q) const;
 
+  /// The configured bucket upper edges.
   const std::vector<double>& bounds() const noexcept { return bounds_; }
   /// Bucket counts (bounds().size() + 1 entries, overflow last).
   std::vector<std::uint64_t> bucket_counts() const;
@@ -113,14 +127,14 @@ class Histogram {
 
 /// Point-in-time view of a histogram, as used by the exporters.
 struct HistogramSnapshot {
-  std::string key;
-  std::uint64_t count = 0;
-  double sum = 0.0;
-  double min = 0.0;
-  double max = 0.0;
-  double p50 = 0.0;
-  double p90 = 0.0;
-  double p99 = 0.0;
+  std::string key;           ///< Canonical series key (see series_key).
+  std::uint64_t count = 0;   ///< Number of observations.
+  double sum = 0.0;          ///< Sum of observations.
+  double min = 0.0;          ///< Smallest observation (0 when empty).
+  double max = 0.0;          ///< Largest observation (0 when empty).
+  double p50 = 0.0;          ///< Median (bucket-interpolated).
+  double p90 = 0.0;          ///< 90th percentile (bucket-interpolated).
+  double p99 = 0.0;          ///< 99th percentile (bucket-interpolated).
 };
 
 /// Named collection of metric series plus (in full mode) a structured
@@ -134,6 +148,7 @@ class Registry {
 
   /// Get-or-create. References stay valid for the registry's lifetime.
   Counter& counter(std::string_view name, const Labels& labels = {});
+  /// Get-or-create. References stay valid for the registry's lifetime.
   Gauge& gauge(std::string_view name, const Labels& labels = {});
   /// `bounds` applies on first creation only (empty = default bounds).
   Histogram& histogram(std::string_view name, const Labels& labels = {},
@@ -152,12 +167,16 @@ class Registry {
   /// Drops every series and event.
   void clear();
 
-  // Deterministically ordered snapshots for the exporters.
+  /// Counter series in lexicographic key order (for the exporters).
   std::vector<std::pair<std::string, double>> counters_snapshot() const;
+  /// Gauge series in lexicographic key order (for the exporters).
   std::vector<std::pair<std::string, double>> gauges_snapshot() const;
+  /// Histogram series in lexicographic key order (for the exporters).
   std::vector<HistogramSnapshot> histograms_snapshot() const;
+  /// Event log lines in recording order.
   std::vector<std::string> events_snapshot() const;
 
+  /// True when no series or events have been recorded.
   bool empty() const;
 
  private:
@@ -179,7 +198,9 @@ Registry& current();
 /// lifetime (per-replication child registries in sim::run_replications).
 class ScopedRegistry {
  public:
+  /// Pushes `registry` as this thread's current one (null = default).
   explicit ScopedRegistry(Registry* registry) noexcept;
+  /// Restores the previously current registry.
   ~ScopedRegistry();
   ScopedRegistry(const ScopedRegistry&) = delete;
   ScopedRegistry& operator=(const ScopedRegistry&) = delete;

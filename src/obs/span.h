@@ -29,15 +29,17 @@ namespace mecsc::obs {
 /// One completed span. `name` must point at a string with static
 /// storage duration (all instrumentation sites pass literals).
 struct SpanEvent {
-  const char* name = nullptr;
-  double ms = 0.0;
+  const char* name = nullptr;  ///< Span name (static storage duration).
+  double ms = 0.0;             ///< Elapsed wall-clock milliseconds.
 };
 
 /// Ordered span timeline of one simulated slot.
 class SlotTimeline {
  public:
+  /// Appends one completed span (`name` must outlive the timeline).
   void record(const char* name, double ms) { events_.push_back({name, ms}); }
 
+  /// All spans in recording order.
   const std::vector<SpanEvent>& events() const noexcept { return events_; }
 
   /// Total milliseconds of all spans named `name` (0 when absent).
@@ -56,8 +58,10 @@ class SlotTimeline {
 /// RAII span appending to an explicit timeline (nullptr = disabled).
 class TimelineSpan {
  public:
+  /// Starts timing; records into `timeline` at scope exit.
   TimelineSpan(SlotTimeline* timeline, const char* name) noexcept
       : timeline_(timeline), name_(name) {}
+  /// Records the elapsed time (no-op with a null timeline).
   ~TimelineSpan() {
     if (timeline_ != nullptr) timeline_->record(name_, watch_.elapsed_ms());
   }
@@ -76,12 +80,14 @@ class TimelineSpan {
 /// outlive the span (string literals do).
 class Span {
  public:
+  /// Starts timing when telemetry is enabled; free otherwise.
   explicit Span(const char* prefixed_name) noexcept {
     if (enabled()) {
       name_ = prefixed_name;
       watch_.restart();
     }
   }
+  /// Observes the elapsed milliseconds into the span histogram.
   ~Span() {
     if (name_ != nullptr) {
       current().histogram(name_).observe(watch_.elapsed_ms());

@@ -23,7 +23,13 @@
 
 namespace mecsc::obs {
 
-enum class Level : int { kOff = 0, kSummary = 1, kFull = 2 };
+/// Telemetry verbosity, ordered so that higher levels record strictly
+/// more (the MECSC_TELEMETRY values off | summary | full).
+enum class Level : int {
+  kOff = 0,      ///< Instrumentation compiles down to the level guard.
+  kSummary = 1,  ///< Counters, gauges and histograms; end-of-process dump.
+  kFull = 2,     ///< Summary plus the per-slot structured event stream.
+};
 
 namespace detail {
 /// -1 = not yet parsed from the environment.

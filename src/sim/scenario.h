@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/aggregation.h"
 #include "core/problem.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
@@ -16,15 +17,25 @@ namespace mecsc::sim {
 
 /// Everything needed to reproduce one experimental point of §VI.
 struct ScenarioParams {
-  enum class NetKind { kGtItm, kAs1755 };
+  /// Network topology family (§VI uses both).
+  enum class NetKind {
+    kGtItm,   ///< GT-ITM-like transit-stub topology.
+    kAs1755,  ///< AS-1755-like Rocketfuel ISP topology.
+  };
+  /// Topology family to generate.
   NetKind net = NetKind::kGtItm;
+  /// Number of base stations (the paper's |BS|).
   std::size_t num_stations = 100;
+  /// Run horizon in time slots (the paper's T).
   std::size_t horizon = 100;
   /// Bursty (unknown) demands (Figs. 6-7) vs constant given demands
   /// (Figs. 3-5).
   bool bursty = false;
+  /// Per-station unit-delay process family.
   net::DelayModelKind delay_kind = net::DelayModelKind::kUniform;
+  /// Request/service population parameters.
   workload::WorkloadParams workload;
+  /// Problem-instance options (capacities, access latency, C_unit).
   core::ProblemOptions problem;
   /// Fraction of the historical trace kept as the predictors' training
   /// sample (the paper's small-sample regime).
@@ -41,6 +52,15 @@ struct ScenarioParams {
   /// seed, so enabling faults never shifts the topology / workload /
   /// delay sample paths.
   fault::FaultOptions fault;
+  /// Demand-class aggregation (DESIGN.md §11). The default defers to the
+  /// MECSC_AGGREGATE environment variable ("off" | "auto" | "on", off
+  /// when unset); an explicit mode set here always wins over the
+  /// environment. The scenario resolves the mode once at construction —
+  /// read it back via Scenario::aggregate_mode() and pass it to
+  /// algorithm options so every replication shares one decision.
+  core::AggregateMode aggregate = core::AggregateMode::kEnv;
+  /// Root seed every stream (topology, workload, delays, faults) derives
+  /// from; same seed + params → bitwise-identical scenario.
   std::uint64_t seed = 1;
 };
 
@@ -52,14 +72,23 @@ struct ScenarioParams {
 /// stable; the struct itself is movable.
 class Scenario {
  public:
+  /// Materialises every component from `params` (throws
+  /// common::InvalidArgument on degenerate inputs, e.g. zero horizon).
   explicit Scenario(const ScenarioParams& params);
 
+  /// The parameters the scenario was built from.
   const ScenarioParams& params() const noexcept { return params_; }
+  /// The generated station network.
   const net::Topology& topology() const noexcept { return *topology_; }
+  /// The problem instance bound to this topology and workload.
   const core::CachingProblem& problem() const noexcept { return *problem_; }
+  /// The generated services and requests.
   const workload::Workload& workload() const noexcept { return workload_; }
+  /// Realised per-slot demands over the run horizon.
   const workload::DemandMatrix& demands() const noexcept { return *demands_; }
+  /// Small-sample historical trace for predictor training.
   const workload::Trace& trace() const noexcept { return *trace_; }
+  /// The ready-to-run simulator over this scenario.
   const Simulator& simulator() const noexcept { return *simulator_; }
 
   /// Mutable views for mobility experiments: the simulator's before-slot
@@ -78,7 +107,9 @@ class Scenario {
   const std::vector<double>& historical_delay_estimates() const noexcept {
     return historical_estimates_;
   }
+  /// Global lower bound of the per-unit delay processes.
   double d_min() const noexcept { return d_min_; }
+  /// Global upper bound of the per-unit delay processes.
   double d_max() const noexcept { return d_max_; }
 
   /// True when C_unit was automatically lowered from the requested value
@@ -87,6 +118,12 @@ class Scenario {
   /// fits the largest station). The effective value is
   /// `problem().options().c_unit_mhz`.
   bool c_unit_derated() const noexcept { return c_unit_derated_; }
+
+  /// The env-resolved aggregation mode (never kEnv): params.aggregate
+  /// with MECSC_AGGREGATE applied when it was kEnv. Pass this into
+  /// OlOptions::aggregate so algorithms, benches and replications all
+  /// act on the single decision made at scenario construction.
+  core::AggregateMode aggregate_mode() const noexcept { return aggregate_mode_; }
 
   /// Fresh deterministic seed derived from the scenario seed (for
   /// algorithm instances).
@@ -112,6 +149,7 @@ class Scenario {
   double d_max_ = 0.0;
   std::vector<double> historical_estimates_;
   bool c_unit_derated_ = false;
+  core::AggregateMode aggregate_mode_ = core::AggregateMode::kOff;
   std::uint64_t algo_seed_root_ = 0;
 };
 

@@ -18,7 +18,8 @@ namespace mecsc::sim {
 
 /// Metrics of one simulated slot.
 struct SlotRecord {
-  double avg_delay_ms = 0.0;        // realised Eq. 3 objective
+  /// Realised Eq. 3 objective (mean per-request delay, ms).
+  double avg_delay_ms = 0.0;
   /// Realised delay charging instantiation only for instances newly
   /// cached this slot (operational accounting; see
   /// realized_average_delay_incremental).
@@ -26,12 +27,16 @@ struct SlotRecord {
   /// Wall-clock of the algorithm's decide() — derived from the
   /// timeline's "algo.decide" span, so the two can never disagree.
   double decision_time_ms = 0.0;
+  /// Total MHz by which the decision exceeded station capacities.
   double capacity_violation_mhz = 0.0;
-  /// Fault-injection accounting (all zero when no injector is set).
-  std::size_t fault_active_outages = 0;    // stations down this slot
-  std::size_t fault_evictions = 0;         // cached instances lost to outages
-  std::size_t fault_shed_requests = 0;     // admission-control deferrals
-  std::size_t fault_censored_feedback = 0; // stations whose d_i(t) was lost
+  /// Stations down this slot (zero when no fault injector is set).
+  std::size_t fault_active_outages = 0;
+  /// Cached instances lost to outages this slot.
+  std::size_t fault_evictions = 0;
+  /// Requests deferred by admission control this slot.
+  std::size_t fault_shed_requests = 0;
+  /// Stations whose d_i(t) feedback was censored this slot.
+  std::size_t fault_censored_feedback = 0;
   /// Per-request shed penalty folded into avg_delay_ms this slot
   /// (pre-averaging total).
   double fault_shed_penalty_ms = 0.0;
@@ -44,15 +49,22 @@ struct SlotRecord {
 
 /// Result of running one algorithm over the horizon.
 struct RunResult {
+  /// Name of the algorithm that produced this run.
   std::string algorithm;
+  /// One record per simulated slot, in slot order.
   std::vector<SlotRecord> slots;
   /// Filled when regret tracking is enabled.
   std::vector<double> cumulative_regret;
 
+  /// Mean of SlotRecord::avg_delay_ms over the horizon.
   double mean_delay_ms() const;
+  /// Mean of SlotRecord::avg_delay_incremental_ms over the horizon.
   double mean_delay_incremental_ms() const;
+  /// Sum of the per-slot decide() wall-clocks (ms).
   double total_decision_time_ms() const;
+  /// Mean decide() wall-clock per slot (ms).
   double mean_decision_time_ms() const;
+  /// Sum of the per-slot capacity violations (MHz).
   double total_capacity_violation_mhz() const;
   /// Mean delay over the last `n` slots (steady-state view).
   double tail_mean_delay_ms(std::size_t n) const;
@@ -75,6 +87,7 @@ class Simulator {
             std::vector<std::vector<double>> unit_delays,
             bool track_regret = false);
 
+  /// Number of slots a run() simulates.
   std::size_t horizon() const noexcept { return horizon_; }
 
   /// Hook invoked before every slot's decide() — used by mobility

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "common/env.h"
+#include "common/env_catalog.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/stopwatch.h"
@@ -300,6 +301,34 @@ TEST(EnvSize, RejectsTrailingGarbageAndNonNumeric) {
   ::setenv("MECSC_TEST_ENV", "1.5", 1);
   EXPECT_FALSE(env_size_strict("MECSC_TEST_ENV").has_value());
   ::unsetenv("MECSC_TEST_ENV");
+}
+
+TEST(EnvCatalog, CoversKnownVariablesSortedAndUnique) {
+  const auto& vars = env_catalog();
+  ASSERT_GE(vars.size(), 5u);
+  std::set<std::string> names;
+  std::string prev;
+  for (const auto& v : vars) {
+    std::string name = v.name;
+    EXPECT_EQ(name.rfind("MECSC_", 0), 0u) << name;
+    EXPECT_GT(name, prev) << "catalogue must stay sorted by name";
+    prev = name;
+    names.insert(name);
+    EXPECT_NE(std::string(v.type), "");
+    EXPECT_NE(std::string(v.default_value), "");
+    EXPECT_NE(std::string(v.effect), "");
+  }
+  EXPECT_EQ(names.size(), vars.size());
+  EXPECT_TRUE(names.count("MECSC_AGGREGATE"));
+  EXPECT_TRUE(names.count("MECSC_WORKERS"));
+  EXPECT_TRUE(names.count("MECSC_TELEMETRY"));
+}
+
+TEST(EnvCatalog, TableListsEveryVariable) {
+  std::string table = env_catalog_table();
+  for (const auto& v : env_catalog()) {
+    EXPECT_NE(table.find(v.name), std::string::npos) << v.name;
+  }
 }
 
 TEST(Fmt, FixedPrecision) {

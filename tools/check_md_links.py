@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Checks that relative markdown links in the repo's docs resolve.
+
+Scans the tracked *.md files (or the files given as arguments) for
+inline links/images `[text](target)`. For each relative target the file
+must exist (anchors and `#fragment` suffixes are stripped; in-page
+`#anchor`-only links are checked against the target file's headings).
+External links (http/https/mailto) are not fetched — CI must stay
+hermetic — only their syntax is accepted.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link).
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^()\s]+(?:\([^()]*\)[^()\s]*)*)\)")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def heading_anchors(path):
+    """GitHub-style anchors of every heading in `path`."""
+    anchors = set()
+    with open(path, encoding="utf-8") as f:
+        in_fence = False
+        for line in f:
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence or not line.startswith("#"):
+                continue
+            text = line.lstrip("#").strip().lower()
+            # GitHub: drop everything but word chars, spaces and hyphens,
+            # then spaces become hyphens.
+            text = re.sub(r"[^\w\- ]", "", text)
+            anchors.add(text.replace(" ", "-"))
+    return anchors
+
+
+def md_files():
+    out = subprocess.run(
+        ["git", "ls-files", "*.md"], capture_output=True, text=True, check=True
+    )
+    return [f for f in out.stdout.splitlines() if f]
+
+
+def main():
+    files = sys.argv[1:] or md_files()
+    errors = []
+    for md in files:
+        base = os.path.dirname(md)
+        with open(md, encoding="utf-8") as f:
+            in_fence = False
+            for lineno, line in enumerate(f, 1):
+                if CODE_FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                for target in LINK_RE.findall(line):
+                    if target.startswith(("http://", "https://", "mailto:")):
+                        continue
+                    path_part, _, frag = target.partition("#")
+                    if not path_part:  # in-page anchor
+                        if frag.lower() not in heading_anchors(md):
+                            errors.append(
+                                f"{md}:{lineno}: broken anchor '#{frag}'"
+                            )
+                        continue
+                    resolved = os.path.normpath(os.path.join(base, path_part))
+                    if not os.path.exists(resolved):
+                        errors.append(
+                            f"{md}:{lineno}: broken link '{target}' "
+                            f"(no such file: {resolved})"
+                        )
+    for e in errors:
+        print(e)
+    if errors:
+        print(f"{len(errors)} broken link(s)")
+        return 1
+    print(f"checked {len(files)} markdown file(s): all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
