@@ -44,7 +44,8 @@ struct LevelResult {
 
 void write_json(const std::vector<LevelResult>& levels, double baseline_recovery) {
   std::ofstream out("BENCH_fault.json");
-  out << "{\n  \"baseline_recovery_delay_ms\": " << baseline_recovery
+  out << "{\n  " << bench::json_meta()
+      << ",\n  \"baseline_recovery_delay_ms\": " << baseline_recovery
       << ",\n  \"levels\": [\n";
   for (std::size_t i = 0; i < levels.size(); ++i) {
     const auto& l = levels[i];

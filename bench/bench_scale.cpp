@@ -39,8 +39,8 @@ struct ScalePoint {
 
 void write_json(const std::vector<ScalePoint>& points, bool quick) {
   std::ofstream out("BENCH_scale.json");
-  out << "{\n  \"quick\": " << (quick ? "true" : "false")
-      << ",\n  \"points\": [\n";
+  out << "{\n  " << bench::json_meta() << ",\n  \"quick\": "
+      << (quick ? "true" : "false") << ",\n  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = points[i];
     out << "    {\"requests\": " << p.requests << ", \"aggregated\": "

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "common/env.h"
+#include "common/simd.h"
 #include "common/table.h"
 #include "obs/export.h"
 
@@ -35,6 +36,27 @@ inline void dump_telemetry() {
                       : "stdout, JSONL")
               << ")\n";
   }
+}
+
+/// JSON fragment (no surrounding braces) recording the detected CPU
+/// vector features and the SIMD mode the binary actually ran in. Every
+/// BENCH_*.json writer stamps this into its header so perf numbers are
+/// comparable across machines — an "avx2" number and a "scalar" number
+/// for the same bench are different experiments.
+inline std::string json_meta() {
+  std::string s = "\"cpu\": {\"avx2\": ";
+  s += common::simd::cpu_has_avx2() ? "true" : "false";
+  s += ", \"fma\": ";
+  s += common::simd::cpu_has_fma() ? "true" : "false";
+  s += "}, \"simd_mode\": \"";
+  s += common::simd::mode_name();
+  s += "\"";
+  if (common::simd::scalar_reason()[0] != '\0') {
+    s += ", \"simd_scalar_reason\": \"";
+    s += common::simd::scalar_reason();
+    s += "\"";
+  }
+  return s;
 }
 
 /// Prints a titled table (and its CSV) to stdout.

@@ -15,8 +15,15 @@ const std::vector<EnvVar>& env_catalog() {
        "(DESIGN.md §9)."},
       {"MECSC_GAN_STEPS", "size_t", "per bench (400)",
        "GAN predictor training steps in the OL_GAN benches."},
+      {"MECSC_PREDICT_BATCH", "size_t", "1024",
+       "Max histories per fused GAN inference pass; results are bitwise "
+       "independent of the value (DESIGN.md \"SIMD & batching\")."},
       {"MECSC_REQUESTS", "size_t", "per bench (100)",
        "Requests per topology replication in the bench harnesses."},
+      {"MECSC_SIMD", "enum: off|auto", "auto",
+       "SIMD kernel dispatch: off forces the scalar reference path; auto "
+       "uses AVX2 when compiled in and the CPU supports it (DESIGN.md "
+       "\"SIMD & batching\")."},
       {"MECSC_SLOTS", "size_t", "per bench (100-400)",
        "Run-horizon time slots in the bench harnesses."},
       {"MECSC_STATIONS", "size_t", "per bench (100)",

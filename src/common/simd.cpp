@@ -1,0 +1,72 @@
+#include "common/simd.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mecsc::common::simd {
+
+namespace {
+
+bool cpu_supports_avx2_fma() {
+#if defined(MECSC_SIMD_AVX2)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+enum class Why { kActive, kCompiledOut, kCpu, kEnv };
+
+Why decide() {
+  if (!kCompiledAvx2) return Why::kCompiledOut;
+  if (!cpu_supports_avx2_fma()) return Why::kCpu;
+  const char* v = std::getenv("MECSC_SIMD");
+  if (v != nullptr && *v != '\0') {
+    if (std::strcmp(v, "off") == 0) return Why::kEnv;
+    if (std::strcmp(v, "auto") != 0) {
+      std::fprintf(stderr,
+                   "mecsc: ignoring MECSC_SIMD=\"%s\" — expected off|auto\n", v);
+    }
+  }
+  return Why::kActive;
+}
+
+Why cached() {
+  static const Why why = decide();
+  return why;
+}
+
+}  // namespace
+
+bool cpu_has_avx2() {
+#if defined(MECSC_SIMD_AVX2)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+bool cpu_has_fma() {
+#if defined(MECSC_SIMD_AVX2)
+  return __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool active() { return cached() == Why::kActive; }
+
+const char* mode_name() { return active() ? "avx2" : "scalar"; }
+
+const char* scalar_reason() {
+  switch (cached()) {
+    case Why::kActive: return "";
+    case Why::kCompiledOut: return "compiled-out";
+    case Why::kCpu: return "cpu";
+    case Why::kEnv: return "env";
+  }
+  return "";
+}
+
+}  // namespace mecsc::common::simd

@@ -1,0 +1,52 @@
+#ifndef MECSC_COMMON_SIMD_H
+#define MECSC_COMMON_SIMD_H
+
+// SIMD dispatch policy shared by the vectorized kernels in nn/ and flow/
+// (DESIGN.md "SIMD & batching").
+//
+// Three gates must all be open for a vector kernel to run:
+//   1. compile time — the AVX2 kernels exist only on x86-64 GCC/Clang
+//      builds and can be compiled out entirely with -DMECSC_FORCE_SCALAR
+//      (the CI scalar-fallback leg);
+//   2. run time, hardware — the CPU must report AVX2+FMA (kernels are
+//      emitted with the target("avx2,fma") function attribute, so the
+//      surrounding binary needs no -mavx2 and stays runnable on any
+//      x86-64 machine);
+//   3. run time, policy — MECSC_SIMD=off forces the scalar reference
+//      path, which is bit-for-bit the pre-SIMD implementation.
+//
+// Every vectorized kernel keeps its scalar reference implementation
+// callable (nn::scalar::*), and the dispatch is per-call on a cached
+// flag, so flipping MECSC_SIMD never requires a rebuild.
+
+namespace mecsc::common::simd {
+
+// Compile-time availability of the AVX2 kernel translation units.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(MECSC_FORCE_SCALAR)
+#define MECSC_SIMD_AVX2 1
+constexpr bool kCompiledAvx2 = true;
+#else
+constexpr bool kCompiledAvx2 = false;
+#endif
+
+/// CPU reports AVX2 (runtime cpuid; false on non-x86 builds).
+bool cpu_has_avx2();
+/// CPU reports FMA3.
+bool cpu_has_fma();
+
+/// True when the AVX2 kernels should run: compiled in, supported by the
+/// CPU, and not disabled via MECSC_SIMD=off. Cached after the first call
+/// (the environment is read once per process).
+bool active();
+
+/// Active dispatch mode as a short stable string: "avx2" or "scalar".
+const char* mode_name();
+
+/// Why the scalar path is active (for logs/JSON): "", "compiled-out",
+/// "cpu", or "env" — empty when SIMD is active.
+const char* scalar_reason();
+
+}  // namespace mecsc::common::simd
+
+#endif  // MECSC_COMMON_SIMD_H

@@ -6,6 +6,8 @@
 #include <queue>
 
 #include "common/error.h"
+#include "common/simd.h"
+#include "flow/simd_relax.h"
 #include "obs/metrics.h"
 
 namespace mecsc::flow {
@@ -53,15 +55,181 @@ void MinCostFlow::reset() {
 
 void MinCostFlow::build_adjacency() {
   const std::size_t n = num_nodes_;
+  const std::size_t num_arcs = arc_from_.size();
   adj_head_.assign(n + 1, 0);
   for (std::uint32_t from : arc_from_) ++adj_head_[from + 1];
   for (std::size_t v = 0; v < n; ++v) adj_head_[v + 1] += adj_head_[v];
-  adj_arc_.resize(arc_from_.size());
+  adj_arc_.resize(num_arcs);
   std::vector<std::uint32_t> fill(adj_head_.begin(), adj_head_.end() - 1);
-  for (std::size_t a = 0; a < arc_from_.size(); ++a) {
+  for (std::size_t a = 0; a < num_arcs; ++a) {
     adj_arc_[fill[arc_from_[a]]++] = static_cast<std::uint32_t>(a);
   }
+  // CSR-order mirror of the arc fields (capacities/costs are synced
+  // again at every solve; the structural fields only change here).
+  arc_pos_.resize(num_arcs);
+  for (std::size_t slot = 0; slot < num_arcs; ++slot) {
+    arc_pos_[adj_arc_[slot]] = static_cast<std::uint32_t>(slot);
+  }
+  csr_to_.resize(num_arcs);
+  csr_partner_.resize(num_arcs);
+  csr_cap_.resize(num_arcs);
+  csr_cost_.resize(num_arcs);
+  cand_.resize(num_arcs);
+  for (std::size_t slot = 0; slot < num_arcs; ++slot) {
+    const std::uint32_t a = adj_arc_[slot];
+    csr_to_[slot] = arc_to_[a];
+    csr_partner_[slot] = arc_pos_[a ^ 1u];
+  }
   adjacency_dirty_ = false;
+}
+
+bool MinCostFlow::dijkstra(std::size_t start, std::size_t sink,
+                           std::size_t forbid, bool dense, bool use_simd,
+                           std::size_t& arcs_scanned) {
+  const double* cap = csr_cap_.data();
+  const double* cost = csr_cost_.data();
+  const std::uint32_t* to = csr_to_.data();
+  const double* pot = potential_.data();
+  double* dist = dist_.data();
+
+  // Dijkstra on reduced costs cost + pot[u] - pot[v] (non-negative).
+  std::fill(dist_.begin(), dist_.end(), kInf);
+  std::fill(done_.begin(), done_.end(), 0);
+  if (forbid < num_nodes_) done_[forbid] = 1;
+  dist[start] = 0.0;
+  (void)use_simd;
+  if (dense) {
+    // Frontier scan: only nodes already discovered (finite dist) are
+    // candidates, kept in a compact swap-remove array.
+    frontier_.clear();
+    frontier_.push_back(static_cast<std::uint32_t>(start));
+    while (!frontier_.empty()) {
+      std::size_t best_at;
+#if defined(MECSC_SIMD_AVX2)
+      if (use_simd) {
+        best_at =
+            avx2::frontier_argmin(frontier_.data(), frontier_.size(), dist);
+      } else
+#endif
+      {
+        best_at = 0;
+        double best = dist[frontier_[0]];
+        for (std::size_t s = 1; s < frontier_.size(); ++s) {
+          double d = dist[frontier_[s]];
+          if (d < best) {
+            best = d;
+            best_at = s;
+          }
+        }
+      }
+      std::uint32_t u = frontier_[best_at];
+      frontier_[best_at] = frontier_.back();
+      frontier_.pop_back();
+      done_[u] = 1;
+      if (u == sink) return true;  // settled: shorter paths impossible
+      double base = dist[u] + pot[u];
+      const std::uint32_t lo = adj_head_[u], hi = adj_head_[u + 1];
+      arcs_scanned += hi - lo;
+#if defined(MECSC_SIMD_AVX2)
+      if (use_simd) {
+        // Vector filter, then an exact scalar re-test per candidate in
+        // slot order (the filter skips the done-set and may race a
+        // same-block dist update; see simd_relax.h).
+        const std::size_t m = avx2::filter_candidates(
+            cap, cost, to, pot, dist, base, kEps, lo, hi, cand_.data());
+        for (std::size_t i = 0; i < m; ++i) {
+          const std::uint32_t at = cand_[i];
+          std::uint32_t v = to[at];
+          if (done_[v]) continue;
+          double nd = base + cost[at] - pot[v];
+          if (nd < dist[v] - kEps) {
+            if (dist[v] == kInf) frontier_.push_back(v);
+            dist[v] = nd;
+            prev_arc_[v] = at;
+          }
+        }
+        continue;
+      }
+#endif
+      for (std::uint32_t at = lo; at < hi; ++at) {
+        if (cap[at] <= kEps) continue;
+        std::uint32_t v = to[at];
+        if (done_[v]) continue;
+        double nd = base + cost[at] - pot[v];
+        if (nd < dist[v] - kEps) {
+          if (dist[v] == kInf) frontier_.push_back(v);
+          dist[v] = nd;
+          prev_arc_[v] = at;
+        }
+      }
+    }
+  } else {
+    using Item = std::pair<double, std::size_t>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.emplace(0.0, start);
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (done_[u]) continue;
+      done_[u] = 1;
+      if (u == sink) return true;
+      double base = d + pot[u];
+      const std::uint32_t lo = adj_head_[u], hi = adj_head_[u + 1];
+      arcs_scanned += hi - lo;
+#if defined(MECSC_SIMD_AVX2)
+      if (use_simd) {
+        const std::size_t m = avx2::filter_candidates(
+            cap, cost, to, pot, dist, base, kEps, lo, hi, cand_.data());
+        for (std::size_t i = 0; i < m; ++i) {
+          const std::uint32_t at = cand_[i];
+          std::uint32_t v = to[at];
+          if (done_[v]) continue;
+          double nd = base + cost[at] - pot[v];
+          if (nd < dist[v] - kEps) {
+            dist[v] = nd;
+            prev_arc_[v] = at;
+            pq.emplace(nd, v);
+          }
+        }
+        continue;
+      }
+#endif
+      for (std::uint32_t at = lo; at < hi; ++at) {
+        if (cap[at] <= kEps) continue;
+        std::uint32_t v = to[at];
+        if (done_[v]) continue;
+        double nd = base + cost[at] - pot[v];
+        if (nd < dist[v] - kEps) {
+          dist[v] = nd;
+          prev_arc_[v] = at;
+          pq.emplace(nd, v);
+        }
+      }
+    }
+  }
+  return false;  // sink unreachable in the residual network
+}
+
+double MinCostFlow::augment(std::size_t start, std::size_t sink, double limit) {
+  // Single-path augmentation along the sink's shortest-path tree branch.
+  // (A Dinic-style blocking-flow phase was tried and reverted: arc costs
+  // here are continuous reals, so shortest-path ties never happen and the
+  // per-phase admissible-graph BFS only added O(E) work. With the early
+  // sink exit in dijkstra(), each pass is cheap.)
+  double push = limit;
+  for (std::size_t v = sink; v != start;) {
+    std::uint32_t at = prev_arc_[v];
+    push = std::min(push, csr_cap_[at]);
+    v = csr_to_[csr_partner_[at]];
+  }
+  if (push <= kEps) return 0.0;  // numerical stall: treat as saturated
+  for (std::size_t v = sink; v != start;) {
+    std::uint32_t at = prev_arc_[v];
+    csr_cap_[at] -= push;
+    csr_cap_[csr_partner_[at]] += push;
+    v = csr_to_[csr_partner_[at]];
+  }
+  return push;
 }
 
 FlowResult MinCostFlow::solve(std::size_t source, std::size_t sink,
@@ -69,6 +237,13 @@ FlowResult MinCostFlow::solve(std::size_t source, std::size_t sink,
   MECSC_CHECK(source < num_nodes_ && sink < num_nodes_);
   MECSC_CHECK(source != sink);
   if (adjacency_dirty_) build_adjacency();
+
+  // Sync the CSR mirror: set_cost/reset edit the arc-order arrays
+  // between solves. O(E) copies — noise next to the Dijkstra passes.
+  for (std::size_t slot = 0; slot < adj_arc_.size(); ++slot) {
+    csr_cap_[slot] = arc_cap_[adj_arc_[slot]];
+    csr_cost_[slot] = arc_cost_[adj_arc_[slot]];
+  }
 
   const std::size_t n = num_nodes_;
   potential_.assign(n, 0.0);
@@ -85,119 +260,129 @@ FlowResult MinCostFlow::solve(std::size_t source, std::size_t sink,
   // favour scanning a compact frontier of discovered nodes over a binary
   // heap; the heap path remains for genuinely sparse/large graphs.
   const bool dense = n <= kDenseThreshold;
+#if defined(MECSC_SIMD_AVX2)
+  const bool simd = common::simd::active();
+#else
+  const bool simd = false;
+#endif
 
-  const double* cap = arc_cap_.data();
-  const double* cost = arc_cost_.data();
-  const std::uint32_t* to = arc_to_.data();
-  const double* pot = potential_.data();
-  double* dist = dist_.data();
+  // --- Per-source fast path -------------------------------------------
+  // When every arc out of `source` has cost 0 and max_flow covers the
+  // whole supply (exactly the transportation reduction FractionalSolver
+  // builds), the supply can be routed one source arc at a time: each
+  // Dijkstra then starts at a single column and typically settles a
+  // handful of nodes before the sink, instead of re-exploring the whole
+  // graph from the super-source on every augmentation. Exactness: each
+  // augmentation still follows a shortest path under reduced costs (the
+  // feasibility invariant never references where the search starts), and
+  // at termination every source arc is saturated, so no residual cycle
+  // can cross the excluded super-source — the flow is the same min-cost
+  // optimum, merely reached in a different augmentation order.
+  const std::uint32_t src_lo = adj_head_[source], src_hi = adj_head_[source + 1];
+  double supply = 0.0;
+  bool fast = true;
+  for (std::uint32_t slot = src_lo; slot < src_hi; ++slot) {
+    if (csr_cap_[slot] <= kEps) continue;
+    if (csr_cost_[slot] != 0.0 || csr_to_[slot] == source) {
+      fast = false;
+      break;
+    }
+    supply += csr_cap_[slot];
+  }
+  fast = fast && max_flow >= supply - kEps;
 
-  while (remaining > kEps) {
-    // Dijkstra on reduced costs cost + pot[u] - pot[v] (non-negative).
-    std::fill(dist_.begin(), dist_.end(), kInf);
-    std::fill(done_.begin(), done_.end(), 0);
-    dist[source] = 0.0;
-    bool sink_settled = false;
-    if (dense) {
-      // Frontier scan: only nodes already discovered (finite dist) are
-      // candidates, kept in a compact swap-remove array.
-      frontier_.clear();
-      frontier_.push_back(static_cast<std::uint32_t>(source));
-      while (!frontier_.empty()) {
-        std::size_t best_at = 0;
-        double best = dist[frontier_[0]];
-        for (std::size_t s = 1; s < frontier_.size(); ++s) {
-          double d = dist[frontier_[s]];
-          if (d < best) {
-            best = d;
-            best_at = s;
-          }
-        }
-        std::uint32_t u = frontier_[best_at];
-        frontier_[best_at] = frontier_.back();
-        frontier_.pop_back();
-        done_[u] = 1;
-        if (u == sink) {  // settled: shorter paths impossible
-          sink_settled = true;
-          break;
-        }
-        double base = best + pot[u];
-        arcs_scanned += adj_head_[u + 1] - adj_head_[u];
-        for (std::uint32_t at = adj_head_[u], end = adj_head_[u + 1]; at < end;
-             ++at) {
-          std::uint32_t a = adj_arc_[at];
-          if (cap[a] <= kEps) continue;
-          std::uint32_t v = to[a];
-          if (done_[v]) continue;
-          double nd = base + cost[a] - pot[v];
-          if (nd < dist[v] - kEps) {
-            if (dist[v] == kInf) frontier_.push_back(v);
-            dist[v] = nd;
-            prev_arc_[v] = a;
-          }
-        }
+  bool use_classic = !fast;
+  if (fast) {
+    for (std::uint32_t slot = src_lo; slot < src_hi && remaining > kEps;
+         ++slot) {
+      const std::size_t c = csr_to_[slot];
+      if (c == sink) {  // degenerate direct source→sink arc
+        double push = std::min(csr_cap_[slot], remaining);
+        if (push <= kEps) continue;
+        csr_cap_[slot] -= push;
+        csr_cap_[csr_partner_[slot]] += push;
+        result.flow += push;
+        ++result.augmentations;
+        remaining -= push;
+        continue;
       }
-    } else {
-      using Item = std::pair<double, std::size_t>;
-      std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
-      pq.emplace(0.0, source);
-      while (!pq.empty()) {
-        auto [d, u] = pq.top();
-        pq.pop();
-        if (done_[u]) continue;
-        done_[u] = 1;
-        if (u == sink) {
-          sink_settled = true;
-          break;
-        }
-        double base = d + pot[u];
-        arcs_scanned += adj_head_[u + 1] - adj_head_[u];
-        for (std::uint32_t at = adj_head_[u], end = adj_head_[u + 1]; at < end;
-             ++at) {
-          std::uint32_t a = adj_arc_[at];
-          if (cap[a] <= kEps) continue;
-          std::uint32_t v = to[a];
-          if (done_[v]) continue;
-          double nd = base + cost[a] - pot[v];
-          if (nd < dist[v] - kEps) {
-            dist[v] = nd;
-            prev_arc_[v] = a;
-            pq.emplace(nd, v);
+      while (csr_cap_[slot] > kEps && remaining > kEps) {
+        if (!dijkstra(c, sink, source, dense, simd, arcs_scanned)) break;
+        double dsink = dist_[sink];
+#if defined(MECSC_SIMD_AVX2)
+        if (simd) {
+          avx2::potential_update(potential_.data(), dist_.data(), dsink, n);
+        } else
+#endif
+        {
+          for (std::size_t v = 0; v < n; ++v) {
+            potential_[v] += std::min(dist_[v], dsink);
           }
         }
+        double push =
+            augment(c, sink, std::min(csr_cap_[slot], remaining));
+        if (push <= 0.0) break;
+        csr_cap_[slot] -= push;  // the implicit source→column hop
+        csr_cap_[csr_partner_[slot]] += push;
+        result.flow += push;
+        ++result.augmentations;
+        remaining -= push;
       }
     }
-    if (!sink_settled) break;  // no augmenting path: network saturated
+    // A column whose supply could not be fully routed means capacity
+    // shortfall. The per-source order is not guaranteed maximal (a later
+    // column's re-routing can reopen an earlier one), so rerun the
+    // classic super-source algorithm for exact parity with degraded-mode
+    // behavior.
+    if (remaining > kEps) {
+      for (std::uint32_t slot = src_lo; slot < src_hi; ++slot) {
+        if (csr_cap_[slot] > kEps && csr_to_[slot] != sink) {
+          use_classic = true;
+          break;
+        }
+      }
+      if (use_classic) {
+        for (std::size_t slot = 0; slot < adj_arc_.size(); ++slot) {
+          csr_cap_[slot] = arc_cap_[adj_arc_[slot]];
+        }
+        potential_.assign(n, 0.0);
+        result = FlowResult{};
+        remaining = max_flow;
+        arcs_scanned = 0;
+        MECSC_COUNT("mcf.fast_path_fallbacks", 1.0);
+      }
+    }
+  }
 
-    // Truncated-Dijkstra potential update (Johnson): nodes not settled
-    // before the sink get the sink's distance, which keeps all reduced
-    // costs non-negative.
-    double dsink = dist[sink];
-    for (std::size_t v = 0; v < n; ++v) {
-      potential_[v] += std::min(dist[v], dsink);
+  if (use_classic) {
+    while (remaining > kEps) {
+      if (!dijkstra(source, sink, num_nodes_, dense, simd, arcs_scanned)) {
+        break;  // no augmenting path: network saturated
+      }
+      // Truncated-Dijkstra potential update (Johnson): nodes not settled
+      // before the sink get the sink's distance, which keeps all reduced
+      // costs non-negative.
+      double dsink = dist_[sink];
+#if defined(MECSC_SIMD_AVX2)
+      if (simd) {
+        avx2::potential_update(potential_.data(), dist_.data(), dsink, n);
+      } else
+#endif
+      {
+        for (std::size_t v = 0; v < n; ++v) {
+          potential_[v] += std::min(dist_[v], dsink);
+        }
+      }
+      double push = augment(source, sink, remaining);
+      if (push <= 0.0) break;
+      result.flow += push;
+      ++result.augmentations;
+      remaining -= push;
     }
-
-    // Single-path augmentation along the sink's shortest-path tree
-    // branch. (A Dinic-style blocking-flow phase was tried and reverted:
-    // arc costs here are continuous reals, so shortest-path ties never
-    // happen and the per-phase admissible-graph BFS only added O(E)
-    // work. With the early sink exit above, each phase is cheap.)
-    double push = remaining;
-    for (std::size_t v = sink; v != source;) {
-      std::uint32_t a = prev_arc_[v];
-      push = std::min(push, arc_cap_[a]);
-      v = arc_to_[a ^ 1u];
-    }
-    if (push <= kEps) break;  // numerical stall: treat as saturated
-    for (std::size_t v = sink; v != source;) {
-      std::uint32_t a = prev_arc_[v];
-      arc_cap_[a] -= push;
-      arc_cap_[a ^ 1u] += push;
-      v = arc_to_[a ^ 1u];
-    }
-    result.flow += push;
-    ++result.augmentations;
-    remaining -= push;
+  }
+  // Publish residual capacities back to arc order (edge_flow reads them).
+  for (std::size_t slot = 0; slot < adj_arc_.size(); ++slot) {
+    arc_cap_[adj_arc_[slot]] = csr_cap_[slot];
   }
   // Exact cost from final edge flows.
   for (std::size_t id = 0; id < initial_capacity_.size(); ++id) {

@@ -77,10 +77,23 @@ class MinCostFlow {
   /// working-set graphs `core::FractionalSolver` builds have ~15 arcs
   /// per node, where the heap wins from ~64 nodes up (measured on the
   /// fig-3 workload); tiny unit-test graphs skip the heap overhead.
-  static constexpr std::size_t kDenseThreshold = 64;
+  static constexpr std::size_t kDenseThreshold = 256;
 
  private:
   void build_adjacency();
+
+  /// One Dijkstra pass on reduced costs from `start`, early-exiting once
+  /// `sink` settles (returns false if it never does). `forbid` (pass
+  /// num_nodes_ for none) is pre-settled so the search never crosses it —
+  /// the per-source fast path uses this to keep the bookkeeping
+  /// super-source, whose outgoing arcs carry negative reduced costs, out
+  /// of the search space.
+  bool dijkstra(std::size_t start, std::size_t sink, std::size_t forbid,
+                bool dense, bool use_simd, std::size_t& arcs_scanned);
+
+  /// Augments along prev_arc_'s path sink→…→start by at most `limit`;
+  /// returns the amount pushed (0 on numerical stall).
+  double augment(std::size_t start, std::size_t sink, double limit);
 
   std::size_t num_nodes_ = 0;
 
@@ -92,16 +105,28 @@ class MinCostFlow {
   std::vector<double> arc_cost_;
   std::vector<double> initial_capacity_;  // per forward edge id
 
-  // CSR adjacency over arcs, rebuilt lazily when edges were added.
+  // CSR adjacency over arcs, rebuilt lazily when edges were added. The
+  // arc fields themselves are mirrored into CSR order (csr_*), so the
+  // Dijkstra inner loop walks one contiguous block per node with no
+  // adj_arc_ indirection — solve() syncs the mirror from the arc arrays
+  // on entry and writes residual capacities back on exit. The stable
+  // counting sort keeps each node's arcs in the same relative order the
+  // old indirect iteration produced, so results are bit-identical.
   std::vector<std::uint32_t> adj_head_;  // num_nodes_+1 offsets
-  std::vector<std::uint32_t> adj_arc_;   // arc indices, grouped by tail
+  std::vector<std::uint32_t> adj_arc_;   // CSR slot -> arc index
+  std::vector<std::uint32_t> arc_pos_;   // arc index -> CSR slot
+  std::vector<std::uint32_t> csr_to_;
+  std::vector<std::uint32_t> csr_partner_;  // CSR slot of the reverse arc
+  std::vector<double> csr_cap_;
+  std::vector<double> csr_cost_;
   bool adjacency_dirty_ = true;
 
   // Reusable per-solve scratch (sized on first solve, then reused).
   std::vector<double> dist_;
   std::vector<double> potential_;  // Johnson potentials
-  std::vector<std::uint32_t> prev_arc_;
+  std::vector<std::uint32_t> prev_arc_;  // CSR slot of the tree arc into v
   std::vector<std::uint32_t> frontier_;  // discovered, not yet settled
+  std::vector<std::uint32_t> cand_;      // SIMD relax-filter candidates
   std::vector<char> done_;
 };
 

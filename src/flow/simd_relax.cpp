@@ -1,0 +1,123 @@
+#include "flow/simd_relax.h"
+
+#if defined(MECSC_SIMD_AVX2)
+
+#include <immintrin.h>
+
+// Every function carries the target attribute instead of the TU being
+// compiled with -mavx2, so the rest of the binary stays portable and the
+// scalar fallback build (-DMECSC_FORCE_SCALAR) simply drops this TU.
+#define MECSC_AVX2 __attribute__((target("avx2,fma")))
+
+namespace mecsc::flow::avx2 {
+
+MECSC_AVX2 std::size_t filter_candidates(const double* cap, const double* cost,
+                                         const std::uint32_t* to,
+                                         const double* pot, const double* dist,
+                                         double base, double eps,
+                                         std::uint32_t lo, std::uint32_t hi,
+                                         std::uint32_t* out) {
+  std::size_t m = 0;
+  const __m256d vbase = _mm256_set1_pd(base);
+  const __m256d veps = _mm256_set1_pd(eps);
+  std::uint32_t at = lo;
+  for (; at + 4 <= hi; at += 4) {
+    // cap > eps — exact: residual capacities don't change mid-pass.
+    const __m256d vcap = _mm256_loadu_pd(cap + at);
+    const __m256d cap_ok = _mm256_cmp_pd(vcap, veps, _CMP_GT_OQ);
+    if (_mm256_movemask_pd(cap_ok) == 0) continue;
+    // nd = (base + cost) − pot[v], same association as the scalar loop.
+    const __m128i vidx = _mm_loadu_si128(reinterpret_cast<const __m128i*>(to + at));
+    const __m256d vpot = _mm256_i32gather_pd(pot, vidx, 8);
+    const __m256d vdist = _mm256_i32gather_pd(dist, vidx, 8);
+    const __m256d nd = _mm256_sub_pd(
+        _mm256_add_pd(vbase, _mm256_loadu_pd(cost + at)), vpot);
+    const __m256d dist_ok =
+        _mm256_cmp_pd(nd, _mm256_sub_pd(vdist, veps), _CMP_LT_OQ);
+    unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_pd(_mm256_and_pd(cap_ok, dist_ok)));
+    while (mask != 0) {
+      const unsigned lane = static_cast<unsigned>(__builtin_ctz(mask));
+      out[m++] = at + lane;
+      mask &= mask - 1;
+    }
+  }
+  for (; at < hi; ++at) {  // tail: same coarse test, scalar
+    if (cap[at] <= eps) continue;
+    const std::uint32_t v = to[at];
+    const double nd = base + cost[at] - pot[v];
+    if (nd < dist[v] - eps) out[m++] = at;
+  }
+  return m;
+}
+
+MECSC_AVX2 void potential_update(double* pot, const double* dist, double dsink,
+                                 std::size_t n) {
+  const __m256d vsink = _mm256_set1_pd(dsink);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // std::min(dist, dsink) returns dist on ties; minpd returns its
+    // second operand on ties/unordered, so pass dist second. (dist is
+    // finite-or-+inf, never NaN.)
+    const __m256d inc = _mm256_min_pd(vsink, _mm256_loadu_pd(dist + i));
+    _mm256_storeu_pd(pot + i, _mm256_add_pd(_mm256_loadu_pd(pot + i), inc));
+  }
+  for (; i < n; ++i) {
+    pot[i] += dsink < dist[i] ? dsink : dist[i];
+  }
+}
+
+MECSC_AVX2 std::size_t frontier_argmin(const std::uint32_t* frontier,
+                                       std::size_t f, const double* dist) {
+  std::size_t s = 0;
+  double best;
+  std::size_t best_at;
+  if (f >= 4) {
+    // Lane l tracks the min (and its first position, held exactly as a
+    // double) over frontier positions ≡ l (mod 4).
+    __m256d vbest = _mm256_set1_pd(__builtin_inf());
+    __m256d vbest_at = _mm256_setzero_pd();
+    __m256d vat = _mm256_set_pd(3.0, 2.0, 1.0, 0.0);
+    const __m256d vfour = _mm256_set1_pd(4.0);
+    for (; s + 4 <= f; s += 4) {
+      const __m128i vidx =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(frontier + s));
+      const __m256d vd = _mm256_i32gather_pd(dist, vidx, 8);
+      const __m256d lt = _mm256_cmp_pd(vd, vbest, _CMP_LT_OQ);  // strict <
+      vbest = _mm256_blendv_pd(vbest, vd, lt);
+      vbest_at = _mm256_blendv_pd(vbest_at, vat, lt);
+      vat = _mm256_add_pd(vat, vfour);
+    }
+    alignas(32) double lane_best[4];
+    alignas(32) double lane_at[4];
+    _mm256_store_pd(lane_best, vbest);
+    _mm256_store_pd(lane_at, vbest_at);
+    best = lane_best[0];
+    best_at = static_cast<std::size_t>(lane_at[0]);
+    for (int l = 1; l < 4; ++l) {
+      // Ties across lanes resolve to the smallest position — exactly the
+      // scalar scan's first-occurrence rule.
+      const std::size_t at = static_cast<std::size_t>(lane_at[l]);
+      if (lane_best[l] < best || (lane_best[l] == best && at < best_at)) {
+        best = lane_best[l];
+        best_at = at;
+      }
+    }
+  } else {
+    best = dist[frontier[0]];
+    best_at = 0;
+    s = 1;
+  }
+  for (; s < f; ++s) {  // tail positions are all above best_at: strict <
+    const double d = dist[frontier[s]];
+    if (d < best) {
+      best = d;
+      best_at = s;
+    }
+  }
+  return best_at;
+}
+
+}  // namespace mecsc::flow::avx2
+
+#endif  // MECSC_SIMD_AVX2

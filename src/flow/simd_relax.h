@@ -1,0 +1,52 @@
+#ifndef MECSC_FLOW_SIMD_RELAX_H
+#define MECSC_FLOW_SIMD_RELAX_H
+
+// AVX2 helpers for MinCostFlow's Dijkstra inner loop. Only compiled on
+// x86-64 GCC/Clang builds (see common/simd.h); callers must check
+// common::simd::active() first. Both helpers are exact — they use only
+// adds/compares/min in the same order as the scalar code, no FMA and no
+// reductions — so flow results are bit-identical in every SIMD mode.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd.h"
+
+#if defined(MECSC_SIMD_AVX2)
+
+namespace mecsc::flow::avx2 {
+
+/// Coarse relaxation filter over the CSR arc slots [lo, hi) of one tail
+/// node: writes to `out` (caller-sized to at least hi−lo) every slot with
+/// residual capacity > eps whose tentative distance base + cost[slot] −
+/// pot[to[slot]] is < dist[to[slot]] − eps, preserving slot order.
+/// Returns the candidate count.
+///
+/// The filter reads `dist` as of call time while the caller updates it
+/// candidate-by-candidate, so it can emit false positives (a preceding
+/// candidate lowered dist[v] first) but never false negatives (dist only
+/// decreases); the caller must re-test each candidate — including the
+/// done-set check, which is skipped here entirely — before updating.
+std::size_t filter_candidates(const double* cap, const double* cost,
+                              const std::uint32_t* to, const double* pot,
+                              const double* dist, double base, double eps,
+                              std::uint32_t lo, std::uint32_t hi,
+                              std::uint32_t* out);
+
+/// Johnson potential update: pot[v] += min(dist[v], dsink) for v < n.
+/// min/add only — bit-identical to the scalar loop.
+void potential_update(double* pot, const double* dist, double dsink,
+                      std::size_t n);
+
+/// Position in `frontier[0..f)` of the node with the smallest dist,
+/// first occurrence on exact ties — the same element the scalar
+/// strict-< scan selects, so settle order (and therefore the augmenting
+/// tree) is bit-identical across modes. f must be > 0.
+std::size_t frontier_argmin(const std::uint32_t* frontier, std::size_t f,
+                            const double* dist);
+
+}  // namespace mecsc::flow::avx2
+
+#endif  // MECSC_SIMD_AVX2
+
+#endif  // MECSC_FLOW_SIMD_RELAX_H

@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/error.h"
+#include "nn/autodiff.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 
@@ -281,6 +282,7 @@ double InfoRnnGan::validation_mse(const std::vector<std::vector<double>>& window
       teacher[t].at(b, 0) = std::clamp(windows[b][t], 0.0, 1.0);
     }
   }
+  nn::NoGradGuard no_grad;
   GeneratorOut out = run_generator(teacher, codes, /*with_noise=*/false);
   double mse = 0.0;
   for (std::size_t t = 0; t < len; ++t) {
@@ -309,22 +311,44 @@ void InfoRnnGan::restore_generator(const std::vector<Matrix>& snapshot) {
 
 double InfoRnnGan::predict_next(const std::vector<double>& history,
                                 std::size_t cluster) {
-  MECSC_CHECK_MSG(cluster < config_.num_codes, "cluster id out of range");
+  return predict_next_batch({history}, {cluster}).front();
+}
+
+std::vector<double> InfoRnnGan::predict_next_batch(
+    const std::vector<std::vector<double>>& histories,
+    const std::vector<std::size_t>& clusters) {
+  MECSC_CHECK_MSG(histories.size() == clusters.size(),
+                  "histories/clusters size mismatch");
+  if (histories.empty()) return {};
+  for (std::size_t c : clusters) {
+    MECSC_CHECK_MSG(c < config_.num_codes, "cluster id out of range");
+  }
   const std::size_t len = config_.seq_len;
-  std::vector<Matrix> teacher(len, Matrix(1, 1));
-  for (std::size_t t = 0; t < len; ++t) {
-    // Right-align the history; zero-pad in front when it is shorter.
-    std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(history.size()) -
-                         static_cast<std::ptrdiff_t>(len) + static_cast<std::ptrdiff_t>(t);
-    double v = idx >= 0 ? history[static_cast<std::size_t>(idx)] : 0.0;
-    teacher[t].at(0, 0) = std::clamp(v, 0.0, 1.0);
+  const std::size_t batch = histories.size();
+  std::vector<Matrix> teacher(len, Matrix(batch, 1));
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto& history = histories[b];
+    for (std::size_t t = 0; t < len; ++t) {
+      // Right-align the history; zero-pad in front when it is shorter.
+      std::ptrdiff_t idx = static_cast<std::ptrdiff_t>(history.size()) -
+                           static_cast<std::ptrdiff_t>(len) +
+                           static_cast<std::ptrdiff_t>(t);
+      double v = idx >= 0 ? history[static_cast<std::size_t>(idx)] : 0.0;
+      teacher[t].at(b, 0) = std::clamp(v, 0.0, 1.0);
+    }
   }
   // Zero noise at inference: the point forecast is the generator's mean
-  // continuation, not one sampled trajectory. The residual head can
-  // overshoot [0,1] slightly; demand is defined on the normalized unit
-  // interval, so clamp.
-  GeneratorOut out = run_generator(teacher, {cluster}, /*with_noise=*/false);
-  return std::clamp(out.outputs.back()->value[0], 0.0, 1.0);
+  // continuation, not one sampled trajectory. No tape either — this is
+  // a pure forward pass. The residual head can overshoot [0,1] slightly;
+  // demand is defined on the normalized unit interval, so clamp.
+  nn::NoGradGuard no_grad;
+  GeneratorOut out = run_generator(teacher, clusters, /*with_noise=*/false);
+  const Matrix& last = out.outputs.back()->value;
+  std::vector<double> result(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    result[b] = std::clamp(last[b], 0.0, 1.0);
+  }
+  return result;
 }
 
 std::vector<double> InfoRnnGan::generate(std::size_t cluster, std::size_t length) {
@@ -345,6 +369,7 @@ std::vector<double> InfoRnnGan::generate(std::size_t cluster, std::size_t length
 
 double InfoRnnGan::discriminator_score(const std::vector<double>& window) {
   MECSC_CHECK_MSG(!window.empty(), "empty window");
+  nn::NoGradGuard no_grad;
   std::vector<Var> seq;
   seq.reserve(window.size());
   for (double v : window) {

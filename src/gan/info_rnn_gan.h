@@ -108,6 +108,16 @@ class InfoRnnGan {
   /// Uses the last seq_len values (zero-padded in front when shorter).
   double predict_next(const std::vector<double>& history, std::size_t cluster);
 
+  /// Batched `predict_next`: one fused zero-noise forward pass over all
+  /// (history, cluster) pairs at once, so every per-step matmul runs at
+  /// batch = histories.size() instead of 1. Bit-identical to calling
+  /// predict_next per pair (row-major kernels process batch rows
+  /// independently and inference is deterministic); the win is purely
+  /// throughput. `histories[i]` pairs with `clusters[i]`.
+  std::vector<double> predict_next_batch(
+      const std::vector<std::vector<double>>& histories,
+      const std::vector<std::size_t>& clusters);
+
   /// Generates a free-running synthetic window for a cluster (useful for
   /// data augmentation and in tests for mode-collapse checks).
   std::vector<double> generate(std::size_t cluster, std::size_t length);

@@ -28,6 +28,8 @@ Var parameter(Matrix value) {
 
 namespace {
 
+thread_local int no_grad_depth = 0;
+
 /// A node participates in backprop if it is a parameter or any ancestor is.
 bool needs_grad(const Var& v) {
   return v->requires_grad || !v->parents.empty();
@@ -35,8 +37,11 @@ bool needs_grad(const Var& v) {
 
 Var make_op(Matrix value, std::vector<Var> parents,
             std::function<void(Node&)> backward_fn) {
-  bool any = false;
-  for (const auto& p : parents) any = any || needs_grad(p);
+  bool any = no_grad_depth == 0;
+  if (any) {
+    any = false;
+    for (const auto& p : parents) any = any || needs_grad(p);
+  }
   auto node = std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
   if (any) {
     node->parents = std::move(parents);
@@ -79,6 +84,10 @@ MatrixPool& scratch() {
 }
 
 }  // namespace
+
+NoGradGuard::NoGradGuard() { ++no_grad_depth; }
+NoGradGuard::~NoGradGuard() { --no_grad_depth; }
+bool NoGradGuard::active() { return no_grad_depth > 0; }
 
 void backward(const Var& root) {
   MECSC_CHECK_MSG(root->value.rows() == 1 && root->value.cols() == 1,
@@ -151,12 +160,11 @@ Var op_scale(const Var& a, double s) {
 Var op_sigmoid(const Var& a) {
   Matrix y = map_sigmoid(a->value);
   Var node = make_op(y, {a}, nullptr);
-  Matrix yv = node->value;  // captured copy for the backward closure
   if (!node->parents.empty()) {
+    Matrix yv = node->value;  // captured copy for the backward closure
     node->backward_fn = [a, yv](Node& n) {
       Matrix& d = scratch().get(0);
-      d = n.grad;  // copy-assign reuses the slot's capacity
-      for (std::size_t i = 0; i < d.size(); ++i) d[i] *= yv[i] * (1.0 - yv[i]);
+      sigmoid_grad_into(d, n.grad, yv);
       a->accumulate(d);
     };
   }
@@ -166,12 +174,11 @@ Var op_sigmoid(const Var& a) {
 Var op_tanh(const Var& a) {
   Matrix y = map_tanh(a->value);
   Var node = make_op(y, {a}, nullptr);
-  Matrix yv = node->value;
   if (!node->parents.empty()) {
+    Matrix yv = node->value;
     node->backward_fn = [a, yv](Node& n) {
       Matrix& d = scratch().get(0);
-      d = n.grad;
-      for (std::size_t i = 0; i < d.size(); ++i) d[i] *= 1.0 - yv[i] * yv[i];
+      tanh_grad_into(d, n.grad, yv);
       a->accumulate(d);
     };
   }
@@ -182,10 +189,7 @@ Var op_relu(const Var& a) {
   Matrix y = map_relu(a->value);
   return make_op(y, {a}, [a](Node& n) {
     Matrix& d = scratch().get(0);
-    d = n.grad;
-    for (std::size_t i = 0; i < d.size(); ++i) {
-      if (a->value[i] <= 0.0) d[i] = 0.0;
-    }
+    relu_grad_into(d, n.grad, a->value);
     a->accumulate(d);
   });
 }

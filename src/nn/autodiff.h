@@ -33,6 +33,23 @@ class Node {
 
 using Var = std::shared_ptr<Node>;
 
+/// RAII scope that disables graph construction on this thread: ops built
+/// while a guard is alive keep their forward values but attach no
+/// parents and no backward_fn, so inference allocates no tape and frees
+/// intermediate values as soon as the last Var referencing them dies.
+/// Nestable; calling backward() on a guarded-graph root is an error
+/// (the root has no parents, so it degenerates to a no-op seed).
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+  /// True while any guard is alive on this thread.
+  static bool active();
+};
+
 /// Leaf with no gradient (inputs, targets).
 Var constant(Matrix value);
 /// Leaf with a gradient (trainable parameter).

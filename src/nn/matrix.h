@@ -4,15 +4,46 @@
 #include <cstddef>
 #include <deque>
 #include <initializer_list>
+#include <new>
 #include <vector>
 
 #include "common/rng.h"
 
 namespace mecsc::nn {
 
+/// Minimal 32-byte-aligning allocator for Matrix storage. The AVX2
+/// kernels use aligned 256-bit loads on whole-buffer elementwise passes,
+/// which requires every Matrix data pointer to sit on a 32-byte
+/// boundary; unaligned vector loads on such pointers would be legal but
+/// this also rules out the UB of casting under-aligned pointers to
+/// vector types. C++17 aligned operator new does the heavy lifting.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+  static constexpr std::align_val_t kAlign{32};
+
+  AlignedAllocator() = default;
+  template <typename U>
+  constexpr AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T), kAlign));
+  }
+  void deallocate(T* p, std::size_t) noexcept { ::operator delete(p, kAlign); }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept { return true; }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept { return false; }
+};
+
+/// 32-byte-aligned contiguous double buffer (Matrix storage type).
+using AlignedVector = std::vector<double, AlignedAllocator<double>>;
+
 /// Dense row-major 2-D matrix of doubles — the only tensor shape the
 /// Info-RNN-GAN needs (batch × features per time step; sequences are
-/// vectors of matrices).
+/// vectors of matrices). Storage is 32-byte aligned (AlignedVector) so
+/// the SIMD kernels can issue aligned vector loads.
 class Matrix {
  public:
   Matrix() = default;
@@ -32,8 +63,8 @@ class Matrix {
   double& operator[](std::size_t i) { return data_[i]; }
   double operator[](std::size_t i) const { return data_[i]; }
 
-  const std::vector<double>& data() const noexcept { return data_; }
-  std::vector<double>& data() noexcept { return data_; }
+  const AlignedVector& data() const noexcept { return data_; }
+  AlignedVector& data() noexcept { return data_; }
 
   /// Xavier/Glorot-uniform initialisation (for layer weights).
   static Matrix xavier(std::size_t rows, std::size_t cols, common::Rng& rng);
@@ -60,7 +91,7 @@ class Matrix {
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
-  std::vector<double> data_;
+  AlignedVector data_;
 };
 
 /// C = A·B. Dimensions must agree.
@@ -89,6 +120,10 @@ Matrix col_sums(const Matrix& a);
 // Output-parameter kernels (DESIGN.md "Performance"). Each writes its result
 // into `out`, resizing it as needed; passing a reused `out` makes the
 // steady state allocation-free. `out` must not alias an input.
+//
+// Every kernel below dispatches to an AVX2 implementation when
+// common::simd::active() (see DESIGN.md "SIMD & batching" for the FP
+// contract) and otherwise runs the scalar reference in nn::scalar.
 // ---------------------------------------------------------------------------
 
 /// out = A·B, with the inner loops blocked over k so panels of B stay in
@@ -108,6 +143,48 @@ void map_sigmoid_into(Matrix& out, const Matrix& a);
 void map_tanh_into(Matrix& out, const Matrix& a);
 void map_relu_into(Matrix& out, const Matrix& a);
 void col_sums_into(Matrix& out, const Matrix& a);
+
+// Fused gradient kernels for the autodiff backward closures: one pass,
+// no temporaries, SIMD-dispatched like the forward kernels.
+/// out = g ⊙ y ⊙ (1 − y)  (sigmoid backward; y is the forward output).
+void sigmoid_grad_into(Matrix& out, const Matrix& g, const Matrix& y);
+/// out = g ⊙ (1 − y²)  (tanh backward; y is the forward output).
+void tanh_grad_into(Matrix& out, const Matrix& g, const Matrix& y);
+/// out = g masked by x > 0 (relu backward; x is the forward input).
+void relu_grad_into(Matrix& out, const Matrix& g, const Matrix& x);
+/// y += s·x  (axpy; the accumulation primitive behind Matrix::add_scaled
+/// and every gradient accumulate).
+void axpy(Matrix& y, const Matrix& x, double s);
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations. These are the pre-SIMD kernels,
+// kept callable so (a) MECSC_SIMD=off reproduces them bit-for-bit via
+// the dispatchers and (b) tests/test_simd.cpp can compare the vector
+// path against them on the same inputs.
+// ---------------------------------------------------------------------------
+namespace scalar {
+void matmul_into(Matrix& out, const Matrix& a, const Matrix& b);
+void matmul_abT_into(Matrix& out, const Matrix& a, const Matrix& b);
+void matmul_aTb_into(Matrix& out, const Matrix& a, const Matrix& b);
+void add_into(Matrix& out, const Matrix& a, const Matrix& b);
+void sub_into(Matrix& out, const Matrix& a, const Matrix& b);
+void hadamard_into(Matrix& out, const Matrix& a, const Matrix& b);
+void scale_into(Matrix& out, const Matrix& a, double s);
+void map_sigmoid_into(Matrix& out, const Matrix& a);
+void map_tanh_into(Matrix& out, const Matrix& a);
+void map_relu_into(Matrix& out, const Matrix& a);
+void sigmoid_grad_into(Matrix& out, const Matrix& g, const Matrix& y);
+void tanh_grad_into(Matrix& out, const Matrix& g, const Matrix& y);
+void relu_grad_into(Matrix& out, const Matrix& g, const Matrix& x);
+void axpy(Matrix& y, const Matrix& x, double s);
+
+/// True when this reference TU was itself compiled with AVX2 codegen
+/// (e.g. a -mavx2/-march=native build): the compiler auto-vectorizes
+/// the "scalar" loops, so simd-vs-scalar timing ratios no longer
+/// measure against a pre-SIMD baseline. Equivalence (bit-exactness /
+/// tolerance) is unaffected — both TUs pin -ffp-contract=off.
+bool reference_is_vectorized();
+}  // namespace scalar
 
 /// Slot-indexed arena of reusable scratch matrices. Callers grab a slot,
 /// resize it via the `_into` kernels, and reuse the same slot on the next

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/env.h"
 #include "common/error.h"
 #include "obs/metrics.h"
 
@@ -68,11 +69,26 @@ double GanDemandPredictor::sanitize_prediction(double raw_norm,
 }
 
 std::vector<double> GanDemandPredictor::predict(std::size_t) {
-  std::vector<double> out(cluster_of_request_.size());
-  for (std::size_t l = 0; l < out.size(); ++l) {
-    double norm = gan_->predict_next(history_[l], cluster_of_request_[l]);
-    if (!std::isfinite(norm)) MECSC_COUNT("fault.predictor_nan", 1.0);
-    out[l] = sanitize_prediction(norm, history_[l], scale_, fallback_[l]);
+  const std::size_t n = cluster_of_request_.size();
+  // One fused forward pass per chunk instead of one per request: every
+  // per-step matmul then runs at batch = chunk size. Chunking bounds the
+  // packed teacher matrices to chunk × seq_len doubles; MECSC_PREDICT_BATCH
+  // tunes the trade-off (1 degenerates to the sequential path, which
+  // produces bit-identical results).
+  static const std::size_t chunk_size =
+      std::max<std::size_t>(1, common::env_size_or("MECSC_PREDICT_BATCH", 1024));
+  std::vector<double> out(n);
+  for (std::size_t begin = 0; begin < n; begin += chunk_size) {
+    const std::size_t end = std::min(n, begin + chunk_size);
+    std::vector<std::vector<double>> histories(history_.begin() + begin,
+                                               history_.begin() + end);
+    std::vector<std::size_t> clusters(cluster_of_request_.begin() + begin,
+                                      cluster_of_request_.begin() + end);
+    std::vector<double> norm = gan_->predict_next_batch(histories, clusters);
+    for (std::size_t l = begin; l < end; ++l) {
+      if (!std::isfinite(norm[l - begin])) MECSC_COUNT("fault.predictor_nan", 1.0);
+      out[l] = sanitize_prediction(norm[l - begin], history_[l], scale_, fallback_[l]);
+    }
   }
   return out;
 }

@@ -15,8 +15,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 # Non-env-var identifiers that share the MECSC_ prefix: instrumentation
-# and assertion macros, plus include guards (filtered by _H suffix too).
-EXCLUDE='MECSC_CHECK|MECSC_COUNT|MECSC_GAUGE_SET|MECSC_HISTOGRAM|MECSC_SPAN|MECSC_OBS_CONCAT|MECSC_TEST_ENV|MECSC_[A-Z_]*_H\b'
+# and assertion macros, include guards (filtered by _H suffix too), and
+# the compile-time SIMD macros (MECSC_FORCE_SCALAR is a CMake option;
+# MECSC_SIMD_AVX2 / MECSC_AVX2 are #define dispatch switches — the
+# digit-less token regex below truncates them to *_AVX).
+EXCLUDE='MECSC_CHECK|MECSC_COUNT|MECSC_GAUGE_SET|MECSC_HISTOGRAM|MECSC_SPAN|MECSC_OBS_CONCAT|MECSC_TEST_ENV|MECSC_FORCE_SCALAR|MECSC_SIMD_AVX$|MECSC_AVX$|MECSC_[A-Z_]*_H\b'
 
 # Every MECSC_[A-Z_]* token in the shipped C++ sources (tests excluded:
 # they may poke internals; CMake files use MECSC_* for list variables),
