@@ -63,11 +63,38 @@ OnlineCachingAlgorithm::OnlineCachingAlgorithm(
   MECSC_CHECK_MSG(predictor_ != nullptr, "null predictor");
 }
 
+OnlineCachingAlgorithm::OnlineCachingAlgorithm(std::string name,
+                                               const core::CachingProblem& problem,
+                                               OlOptions options,
+                                               std::uint64_t seed)
+    : name_(std::move(name)),
+      problem_(&problem),
+      given_demands_(nullptr),
+      options_(options),
+      solver_(problem),
+      bandit_(make_bandit(problem, options)),
+      rng_(seed),
+      aggregate_mode_(core::resolve_aggregate_mode(options.aggregate)) {}
+
+void OnlineCachingAlgorithm::set_live_demands(std::vector<double> demands) {
+  MECSC_CHECK_MSG(demands.size() == problem_->num_requests(),
+                  "live demand snapshot / problem size mismatch");
+  live_demands_ = std::move(demands);
+}
+
 std::vector<double> OnlineCachingAlgorithm::demands_for(std::size_t t) {
+  if (live_demands_.has_value()) {
+    std::vector<double> d = std::move(*live_demands_);
+    live_demands_.reset();
+    return d;
+  }
   if (given_demands_ != nullptr) {
     MECSC_CHECK_MSG(t < given_demands_->horizon(), "slot beyond demand horizon");
     return given_demands_->slot(t);
   }
+  MECSC_CHECK_MSG(predictor_ != nullptr,
+                  "live-stream variant: set_live_demands() must be called "
+                  "before every decide()");
   return predictor_->predict(t);
 }
 

@@ -2,6 +2,7 @@
 #define MECSC_ALGORITHMS_OL_GD_H
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -86,6 +87,21 @@ class OnlineCachingAlgorithm final : public CachingAlgorithm {
                          std::unique_ptr<predict::DemandPredictor> predictor,
                          OlOptions options, std::uint64_t seed);
 
+  /// Live-stream variant (mecsc::serve): no a-priori demand matrix and
+  /// no predictor — each slot's demand snapshot is injected via
+  /// set_live_demands() right before decide(). Everything downstream of
+  /// demand acquisition (LP, rounding, bandit) is byte-identical to the
+  /// given-demand variant, which is what makes a recorded live trace
+  /// replayable through the batch simulator bit-for-bit.
+  OnlineCachingAlgorithm(std::string name, const core::CachingProblem& problem,
+                         OlOptions options, std::uint64_t seed);
+
+  /// Installs the demand snapshot the next decide() consumes (one-shot;
+  /// size must be num_requests). Takes precedence over the given matrix
+  /// / predictor for exactly that decide(), so a live driver can reuse
+  /// any variant.
+  void set_live_demands(std::vector<double> demands);
+
   /// The display name passed at construction.
   std::string name() const override { return name_; }
   /// Algorithm 1, lines 3-9: solve the per-slot LP under the current θ
@@ -119,6 +135,7 @@ class OnlineCachingAlgorithm final : public CachingAlgorithm {
   const core::CachingProblem* problem_;
   const workload::DemandMatrix* given_demands_;  // may be null
   std::unique_ptr<predict::DemandPredictor> predictor_;  // may be null
+  std::optional<std::vector<double>> live_demands_;  // one-shot override
   OlOptions options_;
   core::FractionalSolver solver_;
   // Reused across slots by the exact-LP path: per-slot models share one

@@ -20,6 +20,15 @@ const std::vector<EnvVar>& env_catalog() {
        "independent of the value (DESIGN.md \"SIMD & batching\")."},
       {"MECSC_REQUESTS", "size_t", "per bench (100)",
        "Requests per topology replication in the bench harnesses."},
+      {"MECSC_SERVE_QUEUE_CAP", "size_t", "65536",
+       "Ingest-queue cells per shard in mecsc_serve (rounded up to a "
+       "power of two); a full shard sheds load (DESIGN.md §14)."},
+      {"MECSC_SERVE_SHARDS", "size_t", "8",
+       "Ingest-queue shards in mecsc_serve; events shard by the "
+       "request's home station (DESIGN.md §14)."},
+      {"MECSC_SERVE_SLOT_MS", "size_t", "100",
+       "Wall-clock slot length of mecsc_serve in milliseconds; doubles "
+       "as the decide-latency deadline (DESIGN.md §14)."},
       {"MECSC_SIMD", "enum: off|auto", "auto",
        "SIMD kernel dispatch: off forces the scalar reference path; auto "
        "uses AVX2 when compiled in and the CPU supports it (DESIGN.md "
@@ -36,6 +45,9 @@ const std::vector<EnvVar>& env_catalog() {
        "JSONL)."},
       {"MECSC_TOPOLOGIES", "size_t", "per bench (3-8)",
        "Topology replications each bench averages over (paper: 80)."},
+      {"MECSC_TRACE_OUT", "path", "unset (no trace)",
+       "Binary decision-trace output file of mecsc_serve; replayable "
+       "bit-for-bit with --verify (DESIGN.md §14)."},
       {"MECSC_WORKERS", "size_t", "hardware concurrency",
        "Replication worker threads; results are bitwise independent of "
        "the value."},

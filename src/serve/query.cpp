@@ -1,0 +1,72 @@
+#include "serve/query.h"
+
+#include <cctype>
+
+namespace mecsc::serve::query {
+
+namespace {
+
+/// Position just past `"key"` followed by optional spaces and a colon,
+/// or npos when the line does not contain the key.
+std::size_t value_start(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\"";
+  std::size_t pos = json.find(needle);
+  while (pos != std::string::npos) {
+    std::size_t p = pos + needle.size();
+    while (p < json.size() && std::isspace(static_cast<unsigned char>(json[p]))) {
+      ++p;
+    }
+    if (p < json.size() && json[p] == ':') {
+      ++p;
+      while (p < json.size() &&
+             std::isspace(static_cast<unsigned char>(json[p]))) {
+        ++p;
+      }
+      return p;
+    }
+    // A value happened to contain the needle; keep looking for a key.
+    pos = json.find(needle, pos + 1);
+  }
+  return std::string::npos;
+}
+
+}  // namespace
+
+std::optional<std::string> string_field(const std::string& json,
+                                        const std::string& key) {
+  const std::size_t p = value_start(json, key);
+  if (p == std::string::npos || p >= json.size() || json[p] != '"') {
+    return std::nullopt;
+  }
+  const std::size_t end = json.find('"', p + 1);
+  if (end == std::string::npos) return std::nullopt;
+  return json.substr(p + 1, end - p - 1);
+}
+
+std::optional<std::uint64_t> uint_field(const std::string& json,
+                                        const std::string& key) {
+  const std::size_t p = value_start(json, key);
+  if (p == std::string::npos || p >= json.size() ||
+      !std::isdigit(static_cast<unsigned char>(json[p]))) {
+    return std::nullopt;
+  }
+  std::uint64_t v = 0;
+  std::size_t i = p;
+  while (i < json.size() && std::isdigit(static_cast<unsigned char>(json[i]))) {
+    v = v * 10 + static_cast<std::uint64_t>(json[i] - '0');
+    ++i;
+  }
+  return v;
+}
+
+std::string error_line(const std::string& message) {
+  std::string out = "{\"error\":\"";
+  for (char c : message) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out += "\"}";
+  return out;
+}
+
+}  // namespace mecsc::serve::query

@@ -1,0 +1,33 @@
+#ifndef MECSC_SERVE_QUERY_H
+#define MECSC_SERVE_QUERY_H
+
+// Minimal line-delimited JSON helpers for the serve query API
+// (DESIGN.md "Streaming service architecture"). The protocol is flat
+// single-line objects with string and unsigned-integer fields only —
+// {"q":"request","id":17} — so a full JSON parser would be dead weight;
+// these helpers extract exactly what the protocol uses and reject the
+// rest. SlotService::handle_query builds on them.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mecsc::serve::query {
+
+/// Extracts the string value of `"key":"value"` from a flat JSON
+/// object line. Returns nullopt when the key is absent or its value is
+/// not a (escape-free) string.
+std::optional<std::string> string_field(const std::string& json,
+                                        const std::string& key);
+
+/// Extracts the non-negative integer value of `"key":123`. Returns
+/// nullopt when the key is absent or the value is not a plain integer.
+std::optional<std::uint64_t> uint_field(const std::string& json,
+                                        const std::string& key);
+
+/// One-line {"error":"message"} response (message JSON-escaped).
+std::string error_line(const std::string& message);
+
+}  // namespace mecsc::serve::query
+
+#endif  // MECSC_SERVE_QUERY_H

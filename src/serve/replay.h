@@ -1,0 +1,60 @@
+#ifndef MECSC_SERVE_REPLAY_H
+#define MECSC_SERVE_REPLAY_H
+
+// Trace replay and bit-identity verification (DESIGN.md "Streaming
+// service architecture").
+//
+// The determinism contract: a trace records the exact demand snapshots
+// the live pipeline consumed, the realised unit delays, and the
+// decisions it committed, plus the scenario recipe. replay_trace()
+// rebuilds the identical problem instance from the recipe, feeds the
+// recorded snapshots/delays through the batch decision engine
+// (sim::SlotEngine — the same code the daemon ran) with the same
+// algorithm seed, and compares the reproduced decisions and slot
+// objectives against the recorded ones bit for bit. Any divergence —
+// an env knob leaking into the pipeline, a nondeterministic RNG path, a
+// drifting serialisation — surfaces as a mismatch with its slot.
+
+#include <cstddef>
+#include <string>
+
+#include "serve/service.h"
+#include "serve/trace_io.h"
+
+namespace mecsc::serve {
+
+/// Outcome of replaying one trace.
+struct ReplayResult {
+  /// Every recorded slot reproduced bitwise (decisions and objective).
+  bool bit_identical = false;
+  /// The trace carried the footer (clean shutdown).
+  bool sealed = false;
+  /// Recorded slots compared.
+  std::size_t slots_compared = 0;
+  /// First diverging slot (npos when none).
+  std::size_t first_mismatch_slot = static_cast<std::size_t>(-1);
+  /// Human-readable mismatch description ("" when identical).
+  std::string detail;
+};
+
+/// The trace header a live run with `options` stamps: the scenario
+/// recipe plus the env-resolved aggregate mode and the algorithm seed,
+/// both pinned explicitly so replay cannot be skewed by a different
+/// environment.
+TraceConfig trace_config_for(const ServeOptions& options,
+                             const sim::Scenario& scenario);
+
+/// Inverse of trace_config_for: the ServeOptions that rebuild the
+/// recorded scenario (pipeline-only knobs take defaults).
+ServeOptions options_from_trace(const TraceConfig& config);
+
+/// Replays `path` through the batch decision engine and verifies bit
+/// identity. Throws common::InvalidArgument on an unreadable/corrupt
+/// trace or a trace inconsistent with its own recipe (wrong vector
+/// sizes); mere decision divergence is reported in the result, not
+/// thrown.
+ReplayResult replay_trace(const std::string& path);
+
+}  // namespace mecsc::serve
+
+#endif  // MECSC_SERVE_REPLAY_H

@@ -1,0 +1,199 @@
+// mecsc_serve — the long-running streaming decision daemon (DESIGN.md
+// "Streaming service architecture").
+//
+// Boots a SlotService over a seeded scenario: synthetic producers push
+// demand events into the sharded ingest queue, the wall-clock (or
+// paced) slot scheduler closes per-slot snapshots, and the pipelined
+// decide path commits caching/routing decisions slot by slot. With
+// --queries the daemon answers line-delimited JSON queries on
+// stdin/stdout from the latest committed decision; stdout is reserved
+// for those responses, all logs go to stderr. SIGINT/SIGTERM drain the
+// slot in flight, seal the trace, flush telemetry and exit 0.
+//
+//   mecsc_serve --slots 200 --trace-out run.trace --prom-out serve.prom
+//   mecsc_serve --verify run.trace        # replay bit-identity check
+//
+// Environment defaults: MECSC_SERVE_SLOT_MS, MECSC_SERVE_SHARDS,
+// MECSC_SERVE_QUEUE_CAP, MECSC_TRACE_OUT (flags win).
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "serve/replay.h"
+#include "serve/service.h"
+
+namespace {
+
+std::atomic<mecsc::serve::SlotService*> g_service{nullptr};
+
+void handle_signal(int) {
+  // request_stop() is one lock-free atomic store — async-signal-safe.
+  mecsc::serve::SlotService* service = g_service.load(std::memory_order_acquire);
+  if (service != nullptr) service->request_stop();
+}
+
+std::size_t parse_size(const char* flag, const char* value) {
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || *end != '\0') {
+    std::fprintf(stderr, "mecsc_serve: %s expects a non-negative integer, got \"%s\"\n",
+                 flag, value);
+    std::exit(2);
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: mecsc_serve [options]\n"
+               "  --stations N     base stations (default 100)\n"
+               "  --requests N     request population (default 400)\n"
+               "  --services N     service catalogue size (default 10)\n"
+               "  --slots N        horizon in slots (default 100)\n"
+               "  --seed N         scenario root seed (default 1)\n"
+               "  --slot-ms N      slot length in ms (env MECSC_SERVE_SLOT_MS)\n"
+               "  --shards N       ingest shards (env MECSC_SERVE_SHARDS)\n"
+               "  --queue-cap N    cells per shard (env MECSC_SERVE_QUEUE_CAP)\n"
+               "  --producers N    synthetic producer threads (default 2)\n"
+               "  --paced          data-paced slots (deterministic; tests/CI)\n"
+               "  --constant       constant instead of bursty demands\n"
+               "  --trace-out P    record a binary trace (env MECSC_TRACE_OUT)\n"
+               "  --prom-out P     live Prometheus dump file, rewritten per slot\n"
+               "  --queries        answer JSON queries on stdin/stdout\n"
+               "  --verify P       replay trace P, check bit identity, exit 0/1\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using mecsc::serve::ReplayResult;
+  using mecsc::serve::ServeOptions;
+  using mecsc::serve::ServeReport;
+  using mecsc::serve::SlotService;
+
+  ServeOptions options = mecsc::serve::serve_options_from_env();
+  bool queries = false;
+  std::string verify_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "mecsc_serve: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--stations") == 0) {
+      options.num_stations = parse_size(arg, next(arg));
+    } else if (std::strcmp(arg, "--requests") == 0) {
+      options.num_requests = parse_size(arg, next(arg));
+    } else if (std::strcmp(arg, "--services") == 0) {
+      options.num_services = parse_size(arg, next(arg));
+    } else if (std::strcmp(arg, "--slots") == 0) {
+      options.horizon = parse_size(arg, next(arg));
+    } else if (std::strcmp(arg, "--seed") == 0) {
+      options.seed = parse_size(arg, next(arg));
+    } else if (std::strcmp(arg, "--slot-ms") == 0) {
+      options.slot_ms = parse_size(arg, next(arg));
+    } else if (std::strcmp(arg, "--shards") == 0) {
+      options.shards = parse_size(arg, next(arg));
+    } else if (std::strcmp(arg, "--queue-cap") == 0) {
+      options.queue_capacity = parse_size(arg, next(arg));
+    } else if (std::strcmp(arg, "--producers") == 0) {
+      options.producers = parse_size(arg, next(arg));
+    } else if (std::strcmp(arg, "--paced") == 0) {
+      options.paced = true;
+    } else if (std::strcmp(arg, "--constant") == 0) {
+      options.bursty = false;
+    } else if (std::strcmp(arg, "--trace-out") == 0) {
+      options.trace_out = next(arg);
+    } else if (std::strcmp(arg, "--prom-out") == 0) {
+      options.prom_out = next(arg);
+    } else if (std::strcmp(arg, "--queries") == 0) {
+      queries = true;
+    } else if (std::strcmp(arg, "--verify") == 0) {
+      verify_path = next(arg);
+    } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "mecsc_serve: unknown flag \"%s\"\n", arg);
+      usage();
+      return 2;
+    }
+  }
+
+  if (!verify_path.empty()) {
+    try {
+      const ReplayResult result = mecsc::serve::replay_trace(verify_path);
+      if (result.bit_identical && result.sealed) {
+        std::fprintf(stderr,
+                     "mecsc_serve: %zu slot(s) replayed bit-for-bit, trace sealed\n",
+                     result.slots_compared);
+        return 0;
+      }
+      if (!result.sealed) {
+        std::fprintf(stderr, "mecsc_serve: trace is not sealed (no footer)\n");
+      }
+      if (!result.detail.empty()) {
+        std::fprintf(stderr, "mecsc_serve: %s\n", result.detail.c_str());
+      }
+      return 1;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "mecsc_serve: replay failed: %s\n", e.what());
+      return 1;
+    }
+  }
+
+  try {
+    SlotService service(options);
+    g_service.store(&service, std::memory_order_release);
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGTERM, handle_signal);
+
+    std::fprintf(stderr,
+                 "mecsc_serve: %zu stations, %zu requests, %zu slots x %zu ms, "
+                 "%zu shard(s) x %zu cells, %s slots%s\n",
+                 service.options().num_stations, service.options().num_requests,
+                 service.options().horizon, service.options().slot_ms,
+                 service.options().shards, service.options().queue_capacity,
+                 service.options().paced ? "paced" : "wall-clock",
+                 service.options().trace_out.empty()
+                     ? ""
+                     : (", tracing to " + service.options().trace_out).c_str());
+
+    service.start();
+
+    if (queries) {
+      // stdout carries only query responses; EOF on stdin ends the loop.
+      std::string line;
+      while (std::getline(std::cin, line)) {
+        if (line.empty()) continue;
+        std::cout << service.handle_query(line) << "\n" << std::flush;
+      }
+    }
+
+    const ServeReport report = service.join();
+    g_service.store(nullptr, std::memory_order_release);
+
+    std::fprintf(stderr,
+                 "mecsc_serve: served %zu slot(s)%s, ingested %llu, shed %llu, "
+                 "mean delay %.3f ms, decide p99 %.3f ms (max %.3f), "
+                 "%zu deadline miss(es)\n",
+                 report.slots_served, report.stopped_early ? " (stopped early)" : "",
+                 static_cast<unsigned long long>(report.ingested),
+                 static_cast<unsigned long long>(report.shed),
+                 report.mean_delay_ms, report.p99_decide_ms, report.max_decide_ms,
+                 report.deadline_misses);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "mecsc_serve: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,440 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/env.h"
+#include "common/error.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/query.h"
+#include "serve/replay.h"
+
+namespace mecsc::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+ServeOptions serve_options_from_env() {
+  ServeOptions options;
+  options.slot_ms = common::env_size_or("MECSC_SERVE_SLOT_MS", options.slot_ms);
+  options.shards = common::env_size_or("MECSC_SERVE_SHARDS", options.shards);
+  options.queue_capacity =
+      common::env_size_or("MECSC_SERVE_QUEUE_CAP", options.queue_capacity);
+  if (const char* v = std::getenv("MECSC_TRACE_OUT");
+      v != nullptr && *v != '\0') {
+    options.trace_out = v;
+  }
+  return options;
+}
+
+sim::ScenarioParams scenario_params(const ServeOptions& options) {
+  sim::ScenarioParams params;
+  params.num_stations = options.num_stations;
+  params.horizon = options.horizon;
+  params.bursty = options.bursty;
+  params.workload.num_requests = options.num_requests;
+  params.workload.num_services = options.num_services;
+  params.seed = options.seed;
+  return params;
+}
+
+SlotService::SlotService(ServeOptions options) : options_(std::move(options)) {
+  MECSC_CHECK_MSG(options_.horizon >= 1, "serve horizon must be >= 1 slot");
+  MECSC_CHECK_MSG(options_.slot_ms >= 1, "slot length must be >= 1 ms");
+  MECSC_CHECK_MSG(options_.num_stations >= 1 && options_.num_stations <= 65535,
+                  "serve supports 1..65535 stations (trace format limit)");
+  MECSC_CHECK_MSG(options_.shed_penalty_ms >= 0.0,
+                  "shed penalty must be non-negative");
+
+  scenario_ = std::make_unique<sim::Scenario>(scenario_params(options_));
+  // Faults mutate capacities and demand sample paths behind the
+  // pipeline's back; a trace recorded under MECSC_FAULTS could not be
+  // replayed bit-for-bit by an environment without it. Refuse upfront.
+  MECSC_CHECK_MSG(scenario_->fault_injector() == nullptr,
+                  "mecsc::serve does not compose with MECSC_FAULTS; unset it");
+
+  queue_ = std::make_unique<ShardedIngestQueue>(options_.shards,
+                                                options_.queue_capacity);
+
+  algorithms::OlOptions ol_options;
+  ol_options.aggregate = scenario_->aggregate_mode();
+  algorithm_ = std::make_unique<algorithms::OnlineCachingAlgorithm>(
+      "OL_GD", scenario_->problem(), ol_options, scenario_->algorithm_seed(0));
+  engine_ = std::make_unique<sim::SlotEngine>(scenario_->problem());
+
+  producer_count_ = options_.producers > 0 ? options_.producers : 1;
+  producers_done_ =
+      std::vector<std::atomic<std::uint32_t>>(options_.horizon);
+  shed_per_slot_ = std::vector<std::atomic<std::uint32_t>>(options_.horizon);
+
+  if (!options_.trace_out.empty()) {
+    trace_ = std::make_unique<TraceWriter>(
+        options_.trace_out, trace_config_for(options_, *scenario_));
+  }
+}
+
+SlotService::~SlotService() {
+  if (!threads_.empty() && !joined_) {
+    request_stop();
+    join();
+  }
+}
+
+void SlotService::start() {
+  MECSC_CHECK_MSG(threads_.empty() && !joined_, "start() may run only once");
+  running_.store(true, std::memory_order_release);
+  threads_.emplace_back([this] { decide_loop(); });
+  threads_.emplace_back([this] { collector_loop(); });
+  for (std::size_t p = 0; p < options_.producers; ++p) {
+    threads_.emplace_back([this, p] { producer_loop(p); });
+  }
+}
+
+bool SlotService::submit(std::uint32_t request, std::uint32_t slot,
+                         double demand) {
+  const auto& requests = scenario_->problem().requests();
+  MECSC_CHECK_MSG(request < requests.size(), "submit: request id out of range");
+  const IngestEvent ev{request, slot, demand};
+  const std::size_t home = requests[request].home_station;
+  if (options_.paced) {
+    // Paced producers are lossless: the collector is guaranteed to catch
+    // up, so a full shard is only transient backpressure.
+    while (!queue_->try_push(home, ev)) {
+      if (stop_.load(std::memory_order_acquire)) break;
+      std::this_thread::yield();
+    }
+    if (!stop_.load(std::memory_order_acquire)) return true;
+    // Fall through to one last attempt so a stopping run still counts
+    // the event as shed rather than silently dropping it.
+  }
+  for (std::size_t attempt = 0; attempt <= options_.submit_retries; ++attempt) {
+    if (queue_->try_push(home, ev)) return true;
+  }
+  if (slot < shed_per_slot_.size()) {
+    shed_per_slot_[slot].fetch_add(1, std::memory_order_relaxed);
+  }
+  shed_total_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+void SlotService::producer_done(std::size_t slot) {
+  if (slot < producers_done_.size()) {
+    producers_done_[slot].fetch_add(1, std::memory_order_release);
+  }
+}
+
+void SlotService::producer_loop(std::size_t producer_index) {
+  const core::CachingProblem& problem = scenario_->problem();
+  const workload::DemandMatrix& demands = scenario_->demands();
+  const std::size_t n = problem.num_requests();
+  // Static request partition: exactly one producer owns each request id,
+  // so a (request, slot) pair is submitted at most once and snapshot
+  // accumulation is exact regardless of shard count.
+  const std::size_t lo = producer_index * n / producer_count_;
+  const std::size_t hi = (producer_index + 1) * n / producer_count_;
+  for (std::size_t t = 0; t < options_.horizon; ++t) {
+    while (open_slot_.load(std::memory_order_acquire) <
+           static_cast<std::int64_t>(t)) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      std::this_thread::yield();
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    for (std::size_t l = lo; l < hi; ++l) {
+      const double demand = demands.at(l, t);
+      if (demand <= 0.0) continue;
+      submit(static_cast<std::uint32_t>(l), static_cast<std::uint32_t>(t),
+             demand);
+    }
+    producer_done(t);
+  }
+}
+
+void SlotService::collector_loop() {
+  const std::size_t n = scenario_->problem().num_requests();
+  const auto slot_len = std::chrono::milliseconds(options_.slot_ms);
+  std::vector<IngestEvent> buffer;
+  buffer.reserve(4096);
+  bool stopping = false;
+  for (std::size_t t = 0; t < options_.horizon && !stopping; ++t) {
+    SlotBatch batch;
+    batch.slot = t;
+    batch.snapshot.assign(n, 0.0);
+    const auto opened = Clock::now();
+    const auto deadline = opened + slot_len;
+    open_slot_.store(static_cast<std::int64_t>(t), std::memory_order_release);
+    for (;;) {
+      buffer.clear();
+      queue_->drain(buffer, static_cast<std::size_t>(-1));
+      for (const IngestEvent& ev : buffer) {
+        if (ev.request < n) {
+          batch.snapshot[ev.request] += ev.demand;
+          ++batch.ingested;
+        }
+      }
+      stopping = stop_.load(std::memory_order_acquire);
+      bool close = stopping;
+      if (options_.paced) {
+        // Data-paced close: every producer finished the slot. Their
+        // done-flags release-order after their pushes, so one final
+        // drain below observes every event of the slot.
+        close = close || producers_done_[t].load(std::memory_order_acquire) >=
+                             producer_count_;
+      } else {
+        close = close || Clock::now() >= deadline;
+      }
+      if (close) {
+        buffer.clear();
+        queue_->drain(buffer, static_cast<std::size_t>(-1));
+        for (const IngestEvent& ev : buffer) {
+          if (ev.request < n) {
+            batch.snapshot[ev.request] += ev.demand;
+            ++batch.ingested;
+          }
+        }
+        break;
+      }
+      if (options_.paced) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    }
+    batch.ingest_wall_ms = ms_between(opened, Clock::now());
+    batch.queue_depth = queue_->approx_depth();
+    batch.shed = shed_per_slot_[t].load(std::memory_order_relaxed);
+    ingested_total_.fetch_add(batch.ingested, std::memory_order_relaxed);
+    {
+      std::unique_lock<std::mutex> lock(handoff_mu_);
+      handoff_push_cv_.wait(lock, [this] { return !pending_.has_value(); });
+      pending_ = std::move(batch);
+      if (stopping && t + 1 < options_.horizon) stopped_early_ = true;
+    }
+    handoff_pop_cv_.notify_one();
+  }
+  {
+    std::lock_guard<std::mutex> lock(handoff_mu_);
+    ingest_finished_ = true;
+  }
+  handoff_pop_cv_.notify_one();
+}
+
+void SlotService::decide_loop() {
+  const core::CachingProblem& problem = scenario_->problem();
+  const std::size_t n = problem.num_requests();
+  obs::Registry& registry = obs::default_registry();
+  for (;;) {
+    SlotBatch batch;
+    {
+      std::unique_lock<std::mutex> lock(handoff_mu_);
+      handoff_pop_cv_.wait(
+          lock, [this] { return pending_.has_value() || ingest_finished_; });
+      if (!pending_.has_value()) break;
+      batch = std::move(*pending_);
+      pending_.reset();
+    }
+    handoff_push_cv_.notify_one();
+
+    const std::size_t t = batch.slot;
+    const std::vector<double>& delays =
+        scenario_->simulator().unit_delays(t);
+    algorithm_->set_live_demands(batch.snapshot);
+    sim::SlotRecord record =
+        engine_->step(t, *algorithm_, batch.snapshot, delays);
+
+    if (batch.shed > 0) {
+      // Admission-control shedding, accounted exactly as the fault
+      // subsystem's shedding path: the per-request penalty folds into
+      // the slot objective pre-averaging.
+      fault::SlotFaultSummary shed_summary;
+      shed_summary.shed_requests = batch.shed;
+      shed_summary.shed_penalty_ms =
+          static_cast<double>(batch.shed) * options_.shed_penalty_ms;
+      record.fault_shed_requests += shed_summary.shed_requests;
+      record.fault_shed_penalty_ms += shed_summary.shed_penalty_ms;
+      const double per_request =
+          shed_summary.shed_penalty_ms / static_cast<double>(n == 0 ? 1 : n);
+      record.avg_delay_ms += per_request;
+      record.avg_delay_incremental_ms += per_request;
+    }
+
+    commit(t);
+
+    if (trace_ != nullptr) {
+      SlotTraceRecord tr;
+      tr.slot = static_cast<std::uint32_t>(t);
+      for (std::size_t l = 0; l < n; ++l) {
+        if (batch.snapshot[l] != 0.0) {
+          tr.demands.emplace_back(static_cast<std::uint32_t>(l),
+                                  batch.snapshot[l]);
+        }
+      }
+      tr.unit_delays = delays;
+      const core::Assignment& decision = engine_->last_decision();
+      tr.station_of_request.reserve(n);
+      for (std::size_t station : decision.station_of_request) {
+        tr.station_of_request.push_back(static_cast<std::uint16_t>(station));
+      }
+      tr.cached_bits = pack_cached_bits(decision.cached);
+      tr.ingested = batch.ingested;
+      tr.shed = batch.shed;
+      tr.shed_penalty_ms = record.fault_shed_penalty_ms;
+      tr.avg_delay_ms = record.avg_delay_ms;
+      tr.decide_ms = record.decision_time_ms;
+      trace_->append(tr);
+      trace_->flush();
+    }
+
+    // Live serve.* telemetry — written directly (not via the gated
+    // MECSC_* macros): these gauges are the service's operational
+    // surface, not optional debug instrumentation.
+    const double slot_ms = static_cast<double>(options_.slot_ms);
+    registry.gauge("serve.ingest_rate_rps")
+        .set(batch.ingest_wall_ms > 0.0
+                 ? static_cast<double>(batch.ingested) * 1000.0 /
+                       batch.ingest_wall_ms
+                 : 0.0);
+    registry.gauge("serve.queue_depth")
+        .set(static_cast<double>(batch.queue_depth));
+    registry.gauge("serve.slot_deadline_margin_ms")
+        .set(slot_ms - record.decision_time_ms);
+    const double offered = static_cast<double>(batch.ingested) +
+                           static_cast<double>(batch.shed);
+    registry.gauge("serve.shed_fraction")
+        .set(offered > 0.0 ? static_cast<double>(batch.shed) / offered : 0.0);
+    registry.counter("serve.slots").inc();
+    registry.counter("serve.ingested").add(static_cast<double>(batch.ingested));
+    registry.counter("serve.shed").add(static_cast<double>(batch.shed));
+    registry.histogram("serve.decide_ms").observe(record.decision_time_ms);
+    if (record.decision_time_ms > slot_ms) {
+      ++deadline_misses_;
+      registry.counter("serve.deadline_misses").inc();
+    }
+    export_prometheus();
+
+    slot_records_.push_back(std::move(record));
+  }
+  engine_->end_run();
+}
+
+void SlotService::commit(std::size_t slot) {
+  auto decision = std::make_shared<CommittedDecision>();
+  decision->slot = slot;
+  decision->station_of_request = engine_->last_decision().station_of_request;
+  decision->cached = engine_->last_decision().cached;
+  std::lock_guard<std::mutex> lock(committed_mu_);
+  committed_ = std::move(decision);
+}
+
+void SlotService::export_prometheus() const {
+  if (options_.prom_out.empty()) return;
+  std::ofstream out(options_.prom_out, std::ios::trunc);
+  if (out.good()) obs::write_prometheus(obs::default_registry(), out);
+}
+
+ServeReport SlotService::join() {
+  if (joined_) return report_;
+  for (std::thread& thread : threads_) {
+    if (thread.joinable()) thread.join();
+  }
+  threads_.clear();
+  if (trace_ != nullptr) trace_->close();
+  export_prometheus();
+  running_.store(false, std::memory_order_release);
+  joined_ = true;
+
+  ServeReport report;
+  report.slots_served = slot_records_.size();
+  report.ingested = ingested_total_.load(std::memory_order_relaxed);
+  report.shed = shed_total_.load(std::memory_order_relaxed);
+  report.deadline_misses = deadline_misses_;
+  report.stopped_early = stopped_early_;
+  if (!slot_records_.empty()) {
+    double delay_sum = 0.0;
+    std::vector<double> decide_ms;
+    decide_ms.reserve(slot_records_.size());
+    for (const sim::SlotRecord& record : slot_records_) {
+      delay_sum += record.avg_delay_ms;
+      decide_ms.push_back(record.decision_time_ms);
+    }
+    report.mean_delay_ms = delay_sum / static_cast<double>(decide_ms.size());
+    std::sort(decide_ms.begin(), decide_ms.end());
+    std::size_t p99_index = static_cast<std::size_t>(
+        std::ceil(0.99 * static_cast<double>(decide_ms.size())));
+    if (p99_index > 0) --p99_index;
+    p99_index = std::min(p99_index, decide_ms.size() - 1);
+    report.p99_decide_ms = decide_ms[p99_index];
+    report.max_decide_ms = decide_ms.back();
+  }
+  report_ = report;
+  return report;
+}
+
+std::string SlotService::handle_query(const std::string& line) const {
+  const auto q = query::string_field(line, "q");
+  if (!q.has_value()) {
+    return query::error_line("missing \"q\" field (request | service | stats)");
+  }
+  const core::CachingProblem& problem = scenario_->problem();
+  std::ostringstream out;
+  if (*q == "stats") {
+    const auto decision = committed();
+    out << "{\"q\":\"stats\",\"open_slot\":" << open_slot()
+        << ",\"committed_slot\":"
+        << (decision ? static_cast<std::int64_t>(decision->slot) : -1)
+        << ",\"ingested\":" << ingested_total_.load(std::memory_order_relaxed)
+        << ",\"shed\":" << shed_total_.load(std::memory_order_relaxed)
+        << ",\"queue_depth\":" << queue_->approx_depth() << "}";
+    return out.str();
+  }
+  const auto id = query::uint_field(line, "id");
+  if (!id.has_value()) return query::error_line("missing \"id\" field");
+  const auto decision = committed();
+  if (decision == nullptr) {
+    return query::error_line("no decision committed yet");
+  }
+  if (*q == "request") {
+    if (*id >= decision->station_of_request.size()) {
+      return query::error_line("request id out of range");
+    }
+    const std::size_t l = static_cast<std::size_t>(*id);
+    out << "{\"q\":\"request\",\"id\":" << l
+        << ",\"slot\":" << decision->slot
+        << ",\"station\":" << decision->station_of_request[l]
+        << ",\"service\":" << problem.requests()[l].service_id
+        << ",\"home\":" << problem.requests()[l].home_station << "}";
+    return out.str();
+  }
+  if (*q == "service") {
+    if (*id >= decision->cached.size()) {
+      return query::error_line("service id out of range");
+    }
+    out << "{\"q\":\"service\",\"id\":" << *id
+        << ",\"slot\":" << decision->slot << ",\"stations\":[";
+    bool first = true;
+    const std::vector<bool>& row = decision->cached[*id];
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (!row[i]) continue;
+      if (!first) out << ",";
+      out << i;
+      first = false;
+    }
+    out << "]}";
+    return out.str();
+  }
+  return query::error_line("unknown query \"" + *q + "\"");
+}
+
+}  // namespace mecsc::serve

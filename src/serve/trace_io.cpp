@@ -1,0 +1,240 @@
+#include "serve/trace_io.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace mecsc::serve {
+
+namespace {
+
+constexpr std::uint32_t kHeaderMagic = 0x5443454DU;  // "MECT" little-endian
+constexpr std::uint32_t kRecordMagic = 0x544F4C53U;  // "SLOT"
+constexpr std::uint32_t kFooterMagic = 0x444E4554U;  // "TEND"
+constexpr std::uint16_t kVersion = 1;
+
+std::uint64_t fnv1a(const char* data, std::size_t n) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// Fixed-width little-endian serialisation into a growable byte buffer.
+// The repo only targets little-endian hosts (x86-64/AArch64), so the
+// raw-memcpy encoding doubles as the canonical on-disk byte order.
+void put_bytes(std::string& buf, const void* p, std::size_t n) {
+  buf.append(static_cast<const char*>(p), n);
+}
+template <typename T>
+void put(std::string& buf, T v) {
+  put_bytes(buf, &v, sizeof(v));
+}
+
+class Cursor {
+ public:
+  Cursor(const char* data, std::size_t size) : data_(data), size_(size) {}
+  bool take(void* out, std::size_t n) {
+    if (pos_ + n > size_) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  template <typename T>
+  bool take(T& out) {
+    return take(&out, sizeof(T));
+  }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+std::string serialize_record(const SlotTraceRecord& r) {
+  std::string buf;
+  buf.reserve(64 + r.demands.size() * 12 + r.unit_delays.size() * 8 +
+              r.station_of_request.size() * 2 + r.cached_bits.size());
+  put(buf, r.slot);
+  put(buf, static_cast<std::uint32_t>(r.demands.size()));
+  for (const auto& [id, demand] : r.demands) {
+    put(buf, id);
+    put(buf, demand);
+  }
+  put(buf, static_cast<std::uint32_t>(r.unit_delays.size()));
+  put_bytes(buf, r.unit_delays.data(), r.unit_delays.size() * sizeof(double));
+  put(buf, static_cast<std::uint32_t>(r.station_of_request.size()));
+  put_bytes(buf, r.station_of_request.data(),
+            r.station_of_request.size() * sizeof(std::uint16_t));
+  put(buf, static_cast<std::uint32_t>(r.cached_bits.size()));
+  put_bytes(buf, r.cached_bits.data(), r.cached_bits.size());
+  put(buf, r.ingested);
+  put(buf, r.shed);
+  put(buf, r.shed_penalty_ms);
+  put(buf, r.avg_delay_ms);
+  put(buf, r.decide_ms);
+  return buf;
+}
+
+bool parse_record(Cursor& c, SlotTraceRecord& r) {
+  std::uint32_t n = 0;
+  if (!c.take(r.slot) || !c.take(n)) return false;
+  r.demands.resize(n);
+  for (auto& [id, demand] : r.demands) {
+    if (!c.take(id) || !c.take(demand)) return false;
+  }
+  if (!c.take(n)) return false;
+  r.unit_delays.resize(n);
+  if (!c.take(r.unit_delays.data(), n * sizeof(double))) return false;
+  if (!c.take(n)) return false;
+  r.station_of_request.resize(n);
+  if (!c.take(r.station_of_request.data(), n * sizeof(std::uint16_t))) {
+    return false;
+  }
+  if (!c.take(n)) return false;
+  r.cached_bits.resize(n);
+  if (!c.take(r.cached_bits.data(), n)) return false;
+  return c.take(r.ingested) && c.take(r.shed) && c.take(r.shed_penalty_ms) &&
+         c.take(r.avg_delay_ms) && c.take(r.decide_ms);
+}
+
+std::string serialize_config(const TraceConfig& cfg) {
+  std::string buf;
+  put(buf, cfg.seed);
+  put(buf, cfg.num_stations);
+  put(buf, cfg.num_requests);
+  put(buf, cfg.num_services);
+  put(buf, cfg.horizon);
+  put(buf, cfg.slot_ms);
+  put(buf, cfg.bursty);
+  put(buf, cfg.aggregate);
+  put(buf, cfg.algo_seed);
+  put(buf, cfg.shed_penalty_ms);
+  return buf;
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path, const TraceConfig& config)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  MECSC_CHECK_MSG(out_.good(), "cannot open trace file for writing: " + path);
+  std::string buf;
+  put(buf, kHeaderMagic);
+  put(buf, kVersion);
+  buf += serialize_config(config);
+  out_.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+TraceWriter::~TraceWriter() { close(); }
+
+void TraceWriter::append(const SlotTraceRecord& record) {
+  MECSC_CHECK_MSG(!closed_, "append on a closed trace");
+  const std::string payload = serialize_record(record);
+  std::string buf;
+  put(buf, kRecordMagic);
+  put(buf, static_cast<std::uint64_t>(payload.size()));
+  buf += payload;
+  put(buf, fnv1a(payload.data(), payload.size()));
+  out_.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  ++records_;
+}
+
+void TraceWriter::flush() { out_.flush(); }
+
+void TraceWriter::close() {
+  if (closed_) return;
+  std::string buf;
+  put(buf, kFooterMagic);
+  put(buf, static_cast<std::uint64_t>(records_));
+  out_.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  out_.flush();
+  out_.close();
+  closed_ = true;
+}
+
+TraceReader::TraceReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  MECSC_CHECK_MSG(in_.good(), "cannot open trace file: " + path);
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  in_.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in_.read(reinterpret_cast<char*>(&version), sizeof(version));
+  MECSC_CHECK_MSG(in_.good() && magic == kHeaderMagic,
+                  "not a mecsc serve trace: " + path);
+  MECSC_CHECK_MSG(version == kVersion, "unsupported trace version");
+  std::string cfg = serialize_config(config_);  // template for the size
+  in_.read(cfg.data(), static_cast<std::streamsize>(cfg.size()));
+  MECSC_CHECK_MSG(in_.good(), "truncated trace header: " + path);
+  Cursor c(cfg.data(), cfg.size());
+  c.take(config_.seed);
+  c.take(config_.num_stations);
+  c.take(config_.num_requests);
+  c.take(config_.num_services);
+  c.take(config_.horizon);
+  c.take(config_.slot_ms);
+  c.take(config_.bursty);
+  c.take(config_.aggregate);
+  c.take(config_.algo_seed);
+  c.take(config_.shed_penalty_ms);
+}
+
+bool TraceReader::next(SlotTraceRecord& out) {
+  if (saw_footer_) return false;
+  std::uint32_t magic = 0;
+  in_.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!in_.good()) return false;  // truncated tail (no footer)
+  if (magic == kFooterMagic) {
+    std::uint64_t count = 0;
+    in_.read(reinterpret_cast<char*>(&count), sizeof(count));
+    saw_footer_ = in_.good() && count == records_;
+    return false;
+  }
+  MECSC_CHECK_MSG(magic == kRecordMagic, "corrupt trace record marker");
+  std::uint64_t size = 0;
+  in_.read(reinterpret_cast<char*>(&size), sizeof(size));
+  if (!in_.good()) return false;
+  std::string payload(size, '\0');
+  in_.read(payload.data(), static_cast<std::streamsize>(size));
+  std::uint64_t checksum = 0;
+  in_.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  if (!in_.good()) return false;  // record cut off mid-write
+  MECSC_CHECK_MSG(fnv1a(payload.data(), payload.size()) == checksum,
+                  "trace record checksum mismatch");
+  Cursor c(payload.data(), payload.size());
+  MECSC_CHECK_MSG(parse_record(c, out), "corrupt trace record body");
+  ++records_;
+  return true;
+}
+
+std::vector<std::uint8_t> pack_cached_bits(
+    const std::vector<std::vector<bool>>& cached) {
+  const std::size_t services = cached.size();
+  const std::size_t stations = services == 0 ? 0 : cached.front().size();
+  std::vector<std::uint8_t> bits((services * stations + 7) / 8, 0);
+  for (std::size_t k = 0; k < services; ++k) {
+    for (std::size_t i = 0; i < stations; ++i) {
+      if (cached[k][i]) {
+        const std::size_t bit = k * stations + i;
+        bits[bit / 8] |= static_cast<std::uint8_t>(1U << (bit % 8));
+      }
+    }
+  }
+  return bits;
+}
+
+bool trace_well_formed(const std::string& path, std::size_t* slots_out) {
+  try {
+    TraceReader reader(path);
+    SlotTraceRecord rec;
+    while (reader.next(rec)) {
+    }
+    if (slots_out != nullptr) *slots_out = reader.records_read();
+    return reader.saw_footer();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace mecsc::serve

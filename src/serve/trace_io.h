@@ -1,0 +1,141 @@
+#ifndef MECSC_SERVE_TRACE_IO_H
+#define MECSC_SERVE_TRACE_IO_H
+
+// Compact binary trace format of the mecsc::serve subsystem (DESIGN.md
+// "Streaming service architecture").
+//
+// A trace records everything a live run fed its decision pipeline — the
+// per-slot demand snapshots the slot scheduler closed, the realised
+// per-station unit delays, and the per-slot decisions the pipeline
+// committed — plus the compact scenario configuration needed to rebuild
+// the identical problem instance. Replaying the recorded snapshots
+// through the batch simulator (serve::replay_trace) therefore
+// reproduces the daemon's decisions bit-for-bit, which is the
+// determinism contract production-shaped traces lean on when reused as
+// benches.
+//
+// Layout (little-endian, doubles as raw IEEE-754 bytes):
+//   header  "MECT" magic, format version, TraceConfig fields
+//   records "SLOT"-tagged slot records, each followed by an FNV-1a-64
+//           checksum of the record's payload bytes
+//   footer  "TEND" magic + total record count (written by close(); a
+//           trace without it was cut off mid-write)
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mecsc::serve {
+
+/// Scenario + pipeline configuration stamped into a trace header: the
+/// complete recipe for rebuilding the daemon's problem instance and
+/// algorithm, so a replay needs nothing but the trace file.
+struct TraceConfig {
+  std::uint64_t seed = 1;          ///< Scenario root seed.
+  std::uint32_t num_stations = 0;  ///< Requested base stations.
+  std::uint32_t num_requests = 0;  ///< Requested request population.
+  std::uint32_t num_services = 0;  ///< Requested service catalogue size.
+  std::uint32_t horizon = 0;       ///< Planned run slots.
+  std::uint32_t slot_ms = 0;       ///< Wall-clock slot length (ms).
+  std::uint8_t bursty = 1;         ///< Bursty workload flag.
+  std::uint8_t aggregate = 1;      ///< core::AggregateMode (env-resolved).
+  std::uint64_t algo_seed = 0;     ///< Seed of the pipeline's algorithm.
+  double shed_penalty_ms = 250.0;  ///< Per-shed-request delay penalty.
+};
+
+/// One recorded slot: the canonical demand snapshot (sparse, nonzero
+/// entries only), the realised unit delays, the committed decision, and
+/// the slot's serve-side accounting.
+struct SlotTraceRecord {
+  std::uint32_t slot = 0;
+  /// Nonzero snapshot entries as (request id, demand) pairs, ascending
+  /// by request id.
+  std::vector<std::pair<std::uint32_t, double>> demands;
+  /// Realised d_i(t) per station.
+  std::vector<double> unit_delays;
+  /// Committed decision: serving station per request (u16 — the format
+  /// caps a trace at 65535 stations).
+  std::vector<std::uint16_t> station_of_request;
+  /// Caching set, service-major packed bits: bit (k * stations + i) set
+  /// iff service k is cached at station i.
+  std::vector<std::uint8_t> cached_bits;
+  std::uint32_t ingested = 0;      ///< Events folded into the snapshot.
+  std::uint32_t shed = 0;          ///< Events shed by admission control.
+  double shed_penalty_ms = 0.0;    ///< Total shed penalty (pre-averaging).
+  double avg_delay_ms = 0.0;       ///< Realised slot objective.
+  double decide_ms = 0.0;          ///< decide() wall-clock (informational).
+};
+
+/// Streaming writer. Records append with per-record checksums; close()
+/// (or destruction) seals the trace with the footer.
+class TraceWriter {
+ public:
+  /// Opens `path` for writing and emits the header (throws
+  /// common::InvalidArgument when the file cannot be opened).
+  TraceWriter(const std::string& path, const TraceConfig& config);
+  ~TraceWriter();
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  /// Appends one slot record (serialised + checksummed).
+  void append(const SlotTraceRecord& record);
+
+  /// Flushes buffered records to disk (the footer is not yet written).
+  void flush();
+
+  /// Writes the footer and closes the file. Idempotent.
+  void close();
+
+  /// Records appended so far.
+  std::size_t records_written() const noexcept { return records_; }
+
+ private:
+  std::ofstream out_;
+  std::size_t records_ = 0;
+  bool closed_ = false;
+};
+
+/// Sequential reader over a recorded trace.
+class TraceReader {
+ public:
+  /// Opens `path` and parses the header (throws common::InvalidArgument
+  /// on a missing file, bad magic, or unsupported version).
+  explicit TraceReader(const std::string& path);
+
+  /// The header's configuration.
+  const TraceConfig& config() const noexcept { return config_; }
+
+  /// Reads the next slot record. Returns false at the footer or at a
+  /// truncated tail; a corrupt record (checksum mismatch) throws
+  /// common::InvalidArgument.
+  bool next(SlotTraceRecord& out);
+
+  /// True once the footer was consumed — distinguishes a sealed trace
+  /// from one whose writer died mid-stream.
+  bool saw_footer() const noexcept { return saw_footer_; }
+
+  /// Records read so far.
+  std::size_t records_read() const noexcept { return records_; }
+
+ private:
+  std::ifstream in_;
+  TraceConfig config_;
+  std::size_t records_ = 0;
+  bool saw_footer_ = false;
+};
+
+/// Full-file integrity check: header parses, every record's checksum
+/// holds, and the footer is present with a matching record count. When
+/// `slots_out` is non-null it receives the record count.
+bool trace_well_formed(const std::string& path, std::size_t* slots_out = nullptr);
+
+/// Packs a caching set cached[k][i] into the trace's service-major bit
+/// layout (bit k * stations + i). Used by the recorder and by the replay
+/// comparison, so both sides share one canonical encoding.
+std::vector<std::uint8_t> pack_cached_bits(
+    const std::vector<std::vector<bool>>& cached);
+
+}  // namespace mecsc::serve
+
+#endif  // MECSC_SERVE_TRACE_IO_H

@@ -1,12 +1,8 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <limits>
-#include <sstream>
 
 #include "common/error.h"
-#include "obs/metrics.h"
-#include "obs/span.h"
 
 namespace mecsc::sim {
 
@@ -75,142 +71,16 @@ RunResult Simulator::run(algorithms::CachingAlgorithm& algorithm) const {
   result.algorithm = algorithm.name();
   result.slots.reserve(horizon_);
 
-  std::optional<core::RegretTracker> regret;
-  if (track_regret_) regret.emplace(*problem_);
+  SlotEngine engine(*problem_, track_regret_);
+  if (fault_injector_ != nullptr) engine.set_fault_injector(fault_injector_);
 
-  const bool telemetry = obs::enabled();
-  std::vector<std::vector<bool>> prev_cached;  // empty at slot 0
-  std::vector<double> eff_delays;              // fault-mode scratch
-  std::vector<double> censored_delays;         // fault-mode scratch
   for (std::size_t t = 0; t < horizon_; ++t) {
-    const fault::SlotFaultSummary* faults = nullptr;
-    std::size_t evictions = 0;
-    if (fault_injector_ != nullptr) {
-      // Install the slot's effective capacities before the algorithm
-      // decides, and evict every cached instance sitting on a down
-      // station — its re-instantiation after recovery is then naturally
-      // re-charged d_ins by the incremental accounting.
-      faults = &fault_injector_->begin_slot(t);
-      for (std::size_t i = 0; i < problem_->num_stations(); ++i) {
-        if (fault_injector_->station_up(t, i)) continue;
-        for (auto& row : prev_cached) {
-          if (row[i]) {
-            row[i] = false;
-            ++evictions;
-          }
-        }
-      }
-      if (evictions > 0) {
-        MECSC_COUNT("fault.evictions", static_cast<double>(evictions));
-      }
-      MECSC_GAUGE_SET("fault.active_outages",
-                      static_cast<double>(faults->active_outages));
-    }
     if (before_slot_) before_slot_(t);
-    // Every slot's phases are timed into its span timeline; the record's
-    // decision_time_ms is derived from the "algo.decide" span so the two
-    // sources can never disagree.
-    auto timeline = std::make_shared<obs::SlotTimeline>();
-    core::Assignment decision;
-    {
-      obs::TimelineSpan span(timeline.get(), "algo.decide");
-      decision = algorithm.decide(t);
-    }
-
-    std::vector<double> truth = demands_->slot(t);
-    const std::vector<double>* delays = &unit_delays_[t];
-    if (faults != nullptr) {
-      // A request that still lands on a down station (the degradation
-      // machinery makes this rare) is scored with the plan's outage
-      // penalty on its unit delay.
-      eff_delays = unit_delays_[t];
-      const double penalty =
-          fault_injector_->plan().options().outage_penalty_factor;
-      for (std::size_t i = 0; i < eff_delays.size(); ++i) {
-        if (!fault_injector_->station_up(t, i)) eff_delays[i] *= penalty;
-      }
-      delays = &eff_delays;
-    }
-
-    SlotRecord rec;
-    {
-      obs::TimelineSpan span(timeline.get(), "sim.score");
-      rec.avg_delay_ms =
-          core::realized_average_delay(*problem_, decision, truth, *delays);
-      rec.avg_delay_incremental_ms = core::realized_average_delay_incremental(
-          *problem_, decision, prev_cached, truth, *delays);
-      rec.capacity_violation_mhz =
-          core::capacity_violation(*problem_, decision, truth);
-    }
-    // Regret compares against the hindsight optimum of the same degraded
-    // slot, so it is recorded before the shed penalty — shed requests
-    // cost every algorithm identically and are not a learning failure.
-    const double pre_penalty_delay = rec.avg_delay_ms;
-    if (faults != nullptr) {
-      const double nr = static_cast<double>(problem_->num_requests());
-      rec.avg_delay_ms += faults->shed_penalty_ms / nr;
-      rec.avg_delay_incremental_ms += faults->shed_penalty_ms / nr;
-      rec.fault_active_outages = faults->active_outages;
-      rec.fault_evictions = evictions;
-      rec.fault_shed_requests = faults->shed_requests;
-      rec.fault_censored_feedback = faults->censored;
-      rec.fault_shed_penalty_ms = faults->shed_penalty_ms;
-      if (faults->shed_requests > 0) {
-        MECSC_COUNT("fault.shed_requests",
-                    static_cast<double>(faults->shed_requests));
-      }
-    }
-    rec.decision_time_ms = timeline->ms_of("algo.decide");
-    rec.timeline = timeline;
-    result.slots.push_back(rec);
-    prev_cached = decision.cached;
-
-    {
-      obs::TimelineSpan span(timeline.get(), "sim.observe");
-      if (regret) regret->record(pre_penalty_delay, truth, *delays);
-      const std::vector<double>* observed = delays;
-      if (faults != nullptr && faults->censored > 0) {
-        // Censored bandit feedback: the lost d_i(t) reach the algorithm
-        // as NaN and must be skipped, not averaged.
-        censored_delays = *delays;
-        for (std::size_t i = 0; i < censored_delays.size(); ++i) {
-          if (fault_injector_->feedback_lost(t, i)) {
-            censored_delays[i] = std::numeric_limits<double>::quiet_NaN();
-          }
-        }
-        observed = &censored_delays;
-        MECSC_COUNT("fault.censored_feedback",
-                    static_cast<double>(faults->censored));
-      }
-      algorithm.observe(t, decision, truth, *observed);
-    }
-
-    if (telemetry) {
-      obs::Registry& reg = obs::current();
-      for (const auto& e : timeline->events()) {
-        reg.histogram(std::string("span.") + e.name).observe(e.ms);
-      }
-      reg.counter("sim.slots").inc();
-      if (obs::full_enabled()) {
-        std::ostringstream ev;
-        ev << "{\"type\":\"slot\",\"algo\":\"" << result.algorithm
-           << "\",\"t\":" << t << ",\"avg_delay_ms\":" << rec.avg_delay_ms
-           << ",\"decision_time_ms\":" << rec.decision_time_ms
-           << ",\"capacity_violation_mhz\":" << rec.capacity_violation_mhz
-           << ",\"phases\":{";
-        bool first = true;
-        for (const auto& e : timeline->events()) {
-          if (!first) ev << ',';
-          first = false;
-          ev << '"' << e.name << "\":" << e.ms;
-        }
-        ev << "}}";
-        reg.record_event(ev.str());
-      }
-    }
+    result.slots.push_back(
+        engine.step(t, algorithm, demands_->slot(t), unit_delays_[t]));
   }
-  if (fault_injector_ != nullptr) fault_injector_->end_run();
-  if (regret) result.cumulative_regret = regret->cumulative_series();
+  engine.end_run();
+  if (track_regret_) result.cumulative_regret = engine.cumulative_regret();
   return result;
 }
 

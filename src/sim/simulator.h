@@ -12,40 +12,10 @@
 #include "core/regret.h"
 #include "fault/fault_injector.h"
 #include "obs/span.h"
+#include "sim/slot_engine.h"
 #include "workload/demand_model.h"
 
 namespace mecsc::sim {
-
-/// Metrics of one simulated slot.
-struct SlotRecord {
-  /// Realised Eq. 3 objective (mean per-request delay, ms).
-  double avg_delay_ms = 0.0;
-  /// Realised delay charging instantiation only for instances newly
-  /// cached this slot (operational accounting; see
-  /// realized_average_delay_incremental).
-  double avg_delay_incremental_ms = 0.0;
-  /// Wall-clock of the algorithm's decide() — derived from the
-  /// timeline's "algo.decide" span, so the two can never disagree.
-  double decision_time_ms = 0.0;
-  /// Total MHz by which the decision exceeded station capacities.
-  double capacity_violation_mhz = 0.0;
-  /// Stations down this slot (zero when no fault injector is set).
-  std::size_t fault_active_outages = 0;
-  /// Cached instances lost to outages this slot.
-  std::size_t fault_evictions = 0;
-  /// Requests deferred by admission control this slot.
-  std::size_t fault_shed_requests = 0;
-  /// Stations whose d_i(t) feedback was censored this slot.
-  std::size_t fault_censored_feedback = 0;
-  /// Per-request shed penalty folded into avg_delay_ms this slot
-  /// (pre-averaging total).
-  double fault_shed_penalty_ms = 0.0;
-  /// Span timeline of this slot's phases (algo.decide / sim.score /
-  /// sim.observe) — the structured replacement for bolting further
-  /// ad-hoc timing doubles onto this record. Always present after a
-  /// Simulator::run; null only for hand-built records (e.g. in tests).
-  std::shared_ptr<const obs::SlotTimeline> timeline;
-};
 
 /// Result of running one algorithm over the horizon.
 struct RunResult {
@@ -111,8 +81,16 @@ class Simulator {
     fault_injector_ = injector;
   }
 
-  /// Runs one algorithm over the full horizon.
+  /// Runs one algorithm over the full horizon. Each run drives a fresh
+  /// SlotEngine over the pre-realised demand matrix, so repeated runs
+  /// (and runs of different algorithms) are independent.
   RunResult run(algorithms::CachingAlgorithm& algorithm) const;
+
+  /// Realised per-unit delays d_i(t) of slot t — the sample path live
+  /// drivers (mecsc::serve) share with the batch runs of this scenario.
+  const std::vector<double>& unit_delays(std::size_t t) const {
+    return unit_delays_.at(t);
+  }
 
  private:
   const core::CachingProblem* problem_;

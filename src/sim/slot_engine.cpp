@@ -1,0 +1,153 @@
+#include "sim/slot_engine.h"
+
+#include <limits>
+#include <sstream>
+
+#include "common/error.h"
+#include "obs/metrics.h"
+
+namespace mecsc::sim {
+
+SlotEngine::SlotEngine(const core::CachingProblem& problem, bool track_regret)
+    : problem_(&problem) {
+  if (track_regret) regret_.emplace(problem);
+}
+
+SlotRecord SlotEngine::step(std::size_t t,
+                            algorithms::CachingAlgorithm& algorithm,
+                            const std::vector<double>& true_demands,
+                            const std::vector<double>& unit_delays) {
+  MECSC_CHECK_MSG(true_demands.size() == problem_->num_requests(),
+                  "demand snapshot size mismatch");
+  MECSC_CHECK_MSG(unit_delays.size() == problem_->num_stations(),
+                  "unit delay vector size mismatch");
+  const bool telemetry = obs::enabled();
+  const fault::SlotFaultSummary* faults = nullptr;
+  std::size_t evictions = 0;
+  if (fault_injector_ != nullptr) {
+    // Install the slot's effective capacities before the algorithm
+    // decides, and evict every cached instance sitting on a down
+    // station — its re-instantiation after recovery is then naturally
+    // re-charged d_ins by the incremental accounting.
+    faults = &fault_injector_->begin_slot(t);
+    for (std::size_t i = 0; i < problem_->num_stations(); ++i) {
+      if (fault_injector_->station_up(t, i)) continue;
+      for (auto& row : prev_cached_) {
+        if (row[i]) {
+          row[i] = false;
+          ++evictions;
+        }
+      }
+    }
+    if (evictions > 0) {
+      MECSC_COUNT("fault.evictions", static_cast<double>(evictions));
+    }
+    MECSC_GAUGE_SET("fault.active_outages",
+                    static_cast<double>(faults->active_outages));
+  }
+  // Every slot's phases are timed into its span timeline; the record's
+  // decision_time_ms is derived from the "algo.decide" span so the two
+  // sources can never disagree.
+  auto timeline = std::make_shared<obs::SlotTimeline>();
+  {
+    obs::TimelineSpan span(timeline.get(), "algo.decide");
+    decision_ = algorithm.decide(t);
+  }
+
+  const std::vector<double>* delays = &unit_delays;
+  if (faults != nullptr) {
+    // A request that still lands on a down station (the degradation
+    // machinery makes this rare) is scored with the plan's outage
+    // penalty on its unit delay.
+    eff_delays_ = unit_delays;
+    const double penalty =
+        fault_injector_->plan().options().outage_penalty_factor;
+    for (std::size_t i = 0; i < eff_delays_.size(); ++i) {
+      if (!fault_injector_->station_up(t, i)) eff_delays_[i] *= penalty;
+    }
+    delays = &eff_delays_;
+  }
+
+  SlotRecord rec;
+  {
+    obs::TimelineSpan span(timeline.get(), "sim.score");
+    rec.avg_delay_ms = core::realized_average_delay(*problem_, decision_,
+                                                    true_demands, *delays);
+    rec.avg_delay_incremental_ms = core::realized_average_delay_incremental(
+        *problem_, decision_, prev_cached_, true_demands, *delays);
+    rec.capacity_violation_mhz =
+        core::capacity_violation(*problem_, decision_, true_demands);
+  }
+  // Regret compares against the hindsight optimum of the same degraded
+  // slot, so it is recorded before the shed penalty — shed requests
+  // cost every algorithm identically and are not a learning failure.
+  const double pre_penalty_delay = rec.avg_delay_ms;
+  if (faults != nullptr) {
+    const double nr = static_cast<double>(problem_->num_requests());
+    rec.avg_delay_ms += faults->shed_penalty_ms / nr;
+    rec.avg_delay_incremental_ms += faults->shed_penalty_ms / nr;
+    rec.fault_active_outages = faults->active_outages;
+    rec.fault_evictions = evictions;
+    rec.fault_shed_requests = faults->shed_requests;
+    rec.fault_censored_feedback = faults->censored;
+    rec.fault_shed_penalty_ms = faults->shed_penalty_ms;
+    if (faults->shed_requests > 0) {
+      MECSC_COUNT("fault.shed_requests",
+                  static_cast<double>(faults->shed_requests));
+    }
+  }
+  rec.decision_time_ms = timeline->ms_of("algo.decide");
+  rec.timeline = timeline;
+  prev_cached_ = decision_.cached;
+
+  {
+    obs::TimelineSpan span(timeline.get(), "sim.observe");
+    if (regret_) regret_->record(pre_penalty_delay, true_demands, *delays);
+    const std::vector<double>* observed = delays;
+    if (faults != nullptr && faults->censored > 0) {
+      // Censored bandit feedback: the lost d_i(t) reach the algorithm
+      // as NaN and must be skipped, not averaged.
+      censored_delays_ = *delays;
+      for (std::size_t i = 0; i < censored_delays_.size(); ++i) {
+        if (fault_injector_->feedback_lost(t, i)) {
+          censored_delays_[i] = std::numeric_limits<double>::quiet_NaN();
+        }
+      }
+      observed = &censored_delays_;
+      MECSC_COUNT("fault.censored_feedback",
+                  static_cast<double>(faults->censored));
+    }
+    algorithm.observe(t, decision_, true_demands, *observed);
+  }
+
+  if (telemetry) {
+    obs::Registry& reg = obs::current();
+    for (const auto& e : timeline->events()) {
+      reg.histogram(std::string("span.") + e.name).observe(e.ms);
+    }
+    reg.counter("sim.slots").inc();
+    if (obs::full_enabled()) {
+      std::ostringstream ev;
+      ev << "{\"type\":\"slot\",\"algo\":\"" << algorithm.name()
+         << "\",\"t\":" << t << ",\"avg_delay_ms\":" << rec.avg_delay_ms
+         << ",\"decision_time_ms\":" << rec.decision_time_ms
+         << ",\"capacity_violation_mhz\":" << rec.capacity_violation_mhz
+         << ",\"phases\":{";
+      bool first = true;
+      for (const auto& e : timeline->events()) {
+        if (!first) ev << ',';
+        first = false;
+        ev << '"' << e.name << "\":" << e.ms;
+      }
+      ev << "}}";
+      reg.record_event(ev.str());
+    }
+  }
+  return rec;
+}
+
+void SlotEngine::end_run() {
+  if (fault_injector_ != nullptr) fault_injector_->end_run();
+}
+
+}  // namespace mecsc::sim
