@@ -149,6 +149,10 @@ int main(int argc, char** argv) {
   options.producers = 4;
   options.paced = true;  // deterministic; slot_ms stays the latency deadline
   options.trace_out = "BENCH_serve.trace";
+  // Durable checkpoints on: the crash-consistent write path (serialise
+  // + fsync + rename, on the decide thread between slots) runs under
+  // every gate below, so durability can't silently regress the service.
+  options.checkpoint_every = 5;
   ServeReport report;
   {
     SlotService service(options);

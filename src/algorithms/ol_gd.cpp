@@ -82,6 +82,26 @@ void OnlineCachingAlgorithm::set_live_demands(std::vector<double> demands) {
   live_demands_ = std::move(demands);
 }
 
+OlGdState OnlineCachingAlgorithm::export_state() const {
+  OlGdState state;
+  state.bandit_theta = bandit_.thetas();
+  state.bandit_plays = bandit_.play_counts();
+  state.bandit_total_plays = bandit_.total_plays();
+  state.rng_stream = rng_.save_state();
+  state.lp_warm = lp_workspace_.export_warm_state();
+  state.solver_warm = solver_.export_warm_state();
+  return state;
+}
+
+void OnlineCachingAlgorithm::import_state(const OlGdState& state) {
+  bandit_.restore(state.bandit_theta, state.bandit_plays,
+                  state.bandit_total_plays);
+  MECSC_CHECK_MSG(rng_.restore_state(state.rng_stream),
+                  "corrupt RNG stream in algorithm state");
+  lp_workspace_.import_warm_state(state.lp_warm);
+  solver_.import_warm_state(state.solver_warm);
+}
+
 std::vector<double> OnlineCachingAlgorithm::demands_for(std::size_t t) {
   if (live_demands_.has_value()) {
     std::vector<double> d = std::move(*live_demands_);
@@ -135,7 +155,16 @@ core::Assignment OnlineCachingAlgorithm::decide(std::size_t t) {
 
   core::FractionalSolution frac;
   last_fallback_depth_ = 0;
-  if (options_.use_exact_lp) {
+  const int hint = decide_hint_;
+  decide_hint_ = 0;
+  if (options_.use_exact_lp && hint >= 2) {
+    // Watchdog/replay hint: skip the simplex entirely and decide this
+    // slot on the (much cheaper) degraded flow path.
+    last_fallback_depth_ = 2;
+    core::SolveReport report;
+    frac = aggregate ? solver_.solve_classes(classing_, theta, &report)
+                     : solver_.solve_degraded(last_demands_, theta);
+  } else if (options_.use_exact_lp) {
     // The aggregated model has one x row per class, so its shape varies
     // slot to slot; the workspace shape check cold-starts the simplex
     // whenever the class count changes.

@@ -65,6 +65,21 @@ struct OlOptions {
   core::AggregationOptions aggregation;
 };
 
+/// Complete cross-slot decision state of an OnlineCachingAlgorithm — the
+/// bandit statistics, the rounding RNG's stream position, and both
+/// solver warm states. Exporting this after slot t and importing it into
+/// a freshly constructed algorithm makes its slot t+1 decisions
+/// bit-for-bit identical to the uninterrupted run's, which is the
+/// contract the serve checkpoint/resume path is built on.
+struct OlGdState {
+  std::vector<double> bandit_theta;        ///< Per-arm posterior means.
+  std::vector<std::size_t> bandit_plays;   ///< Per-arm pull counts.
+  std::size_t bandit_total_plays = 0;      ///< Total pulls (UCB time).
+  std::string rng_stream;                  ///< Rounding RNG stream state.
+  lp::SimplexWarmState lp_warm;            ///< Simplex warm-start basis.
+  core::FractionalWarmState solver_warm;   ///< Flow-solver warm state.
+};
+
 /// The paper's online learning algorithm (Algorithm 1, OL_GD) and its
 /// prediction-driven variants (Algorithm 2): per slot,
 ///  1. obtain demands — given (OL_GD) or predicted (OL_Reg / OL_GAN);
@@ -128,6 +143,22 @@ class OnlineCachingAlgorithm final : public CachingAlgorithm {
   /// per-request path (aggregation off, or kAuto below its threshold).
   std::size_t last_num_classes() const noexcept { return last_num_classes_; }
 
+  /// Snapshots the complete cross-slot decision state (see OlGdState).
+  OlGdState export_state() const;
+
+  /// Restores a snapshot taken by export_state() on an algorithm built
+  /// from the identical problem/options/seed recipe.
+  void import_state(const OlGdState& state);
+
+  /// One-shot degradation hint consumed by the next decide(): a depth of
+  /// 2 skips the primary (and cold-restart) solves and goes straight to
+  /// the flow-based degraded solve. The serve watchdog sets this after a
+  /// deadline miss; replay sets it when a record carries
+  /// kSlotFlagDegradedHint, so both runs walk the same solver path. A
+  /// no-op on the flow path, whose primary solve already degrades
+  /// gracefully in place.
+  void set_decide_hint(int depth) { decide_hint_ = depth; }
+
  private:
   std::vector<double> demands_for(std::size_t t);
 
@@ -146,6 +177,7 @@ class OnlineCachingAlgorithm final : public CachingAlgorithm {
   std::vector<double> last_demands_;
   std::vector<bool> played_;  // scratch station mask for observe()
   int last_fallback_depth_ = 0;
+  int decide_hint_ = 0;  // one-shot, see set_decide_hint()
   // Aggregation state: the env-resolved mode (fixed at construction so a
   // mid-run setenv cannot desynchronise replications) and the reusable
   // per-slot classing.

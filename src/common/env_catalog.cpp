@@ -10,6 +10,9 @@ const std::vector<EnvVar>& env_catalog() {
       {"MECSC_AGGREGATE", "enum: off|auto|on", "off",
        "Demand-class aggregation of the per-slot solve (DESIGN.md §11); "
        "auto aggregates only at >= 1024 requests."},
+      {"MECSC_CHECKPOINT_EVERY", "size_t", "0 (off)",
+       "Durable decision-state checkpoint every N slots in mecsc_serve; "
+       "requires a trace, restored by --resume (DESIGN.md §15)."},
       {"MECSC_FAULTS", "enum: off|churn", "off",
        "Fault-injection mode override for scenarios and benches "
        "(DESIGN.md §9)."},
@@ -23,6 +26,9 @@ const std::vector<EnvVar>& env_catalog() {
       {"MECSC_SERVE_QUEUE_CAP", "size_t", "65536",
        "Ingest-queue cells per shard in mecsc_serve (rounded up to a "
        "power of two); a full shard sheds load (DESIGN.md §14)."},
+      {"MECSC_SERVE_RETRY_CAP", "size_t", "64",
+       "Bounded submit retries (yield, then exponential backoff) before "
+       "a full shard sheds the event (DESIGN.md §15)."},
       {"MECSC_SERVE_SHARDS", "size_t", "8",
        "Ingest-queue shards in mecsc_serve; events shard by the "
        "request's home station (DESIGN.md §14)."},

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
 #include <vector>
 
 namespace mecsc::common {
@@ -99,6 +101,24 @@ class Rng {
   }
 
   engine_type& engine() noexcept { return engine_; }
+
+  /// Serialises the engine's exact stream position (std::mt19937_64's
+  /// textual state) for checkpointing. restore_state() resumes the
+  /// stream bit-for-bit where save_state() left it.
+  std::string save_state() const {
+    std::ostringstream os;
+    os << engine_;
+    return os.str();
+  }
+
+  /// Restores a stream position captured by save_state(). Returns false
+  /// (leaving the engine untouched on failure paths where extraction
+  /// already consumed state is acceptable) when the text does not parse.
+  bool restore_state(const std::string& state) {
+    std::istringstream is(state);
+    is >> engine_;
+    return !is.fail();
+  }
 
  private:
   engine_type engine_;

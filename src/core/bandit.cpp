@@ -40,6 +40,16 @@ std::size_t BanditState::plays(std::size_t arm) const {
 
 std::vector<double> BanditState::thetas() const { return theta_; }
 
+void BanditState::restore(const std::vector<double>& theta,
+                          const std::vector<std::size_t>& plays,
+                          std::size_t total_plays) {
+  MECSC_CHECK_MSG(theta.size() == theta_.size() && plays.size() == plays_.size(),
+                  "bandit restore arm count mismatch");
+  theta_ = theta;
+  plays_ = plays;
+  total_plays_ = total_plays;
+}
+
 double BanditState::coverage() const {
   std::size_t played = 0;
   for (std::size_t m : plays_) {

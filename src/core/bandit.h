@@ -47,6 +47,17 @@ class BanditState {
   /// Fraction of arms played at least once.
   double coverage() const;
 
+  /// Per-arm play counts (checkpoint export; pairs with restore()).
+  const std::vector<std::size_t>& play_counts() const noexcept {
+    return plays_;
+  }
+
+  /// Restores the exact statistics exported from another instance
+  /// (checkpoint/resume). Sizes must match num_arms().
+  void restore(const std::vector<double>& theta,
+               const std::vector<std::size_t>& plays,
+               std::size_t total_plays);
+
  private:
   std::vector<double> theta_;
   std::vector<std::size_t> plays_;

@@ -10,6 +10,18 @@
 
 namespace mecsc::core {
 
+/// Snapshot of a FractionalSolver's cross-solve warm state — the
+/// previous solve's flow arcs (which seed the next solve's working set)
+/// and the station dual prices its arc ranking consults. Checkpointing
+/// this is what keeps the flow path's decisions bit-identical across a
+/// crash/resume boundary.
+struct FractionalWarmState {
+  /// Previous solve's per-service flow arcs (next solve's working set).
+  std::vector<std::vector<std::uint32_t>> warm_arcs;
+  /// Station dual prices the arc ranking consults.
+  std::vector<double> station_price;
+};
+
 /// Outcome annotations of a degraded-mode solve (solve_degraded /
 /// solve_classes with a non-null report).
 struct SolveReport {
@@ -106,6 +118,17 @@ class FractionalSolver {
   /// (average per-request delay, ms) with y_ki = max_l x_li.
   double objective(const FractionalSolution& sol, const std::vector<double>& demands,
                    const std::vector<double>& theta) const;
+
+  /// Snapshots the cross-solve warm state (see FractionalWarmState).
+  FractionalWarmState export_warm_state() const {
+    return FractionalWarmState{s_.warm, s_.station_price};
+  }
+
+  /// Restores a snapshot taken by export_warm_state().
+  void import_warm_state(const FractionalWarmState& state) const {
+    s_.warm = state.warm_arcs;
+    s_.station_price = state.station_price;
+  }
 
  private:
   /// Request-path implementation: fills the per-column scratch from the

@@ -73,6 +73,13 @@ class FaultInjector {
     return shed_.at(t);
   }
 
+  /// The effective (derated) per-station capacities installed by the
+  /// latest begin_slot() — what serve records into a trace's
+  /// realised-fault block.
+  const std::vector<double>& effective_capacities() const noexcept {
+    return capacity_scratch_;
+  }
+
  private:
   core::CachingProblem* problem_;
   FaultPlan plan_;

@@ -34,6 +34,10 @@ TraceConfig trace_config_for(const ServeOptions& options,
   cfg.slot_ms = static_cast<std::uint32_t>(options.slot_ms);
   cfg.bursty = options.bursty ? 1 : 0;
   cfg.aggregate = static_cast<std::uint8_t>(scenario.aggregate_mode());
+  // Which fault mode the scenario resolved to (the injector exists iff
+  // churn is on) — part of the recipe, so a resume under a different
+  // MECSC_FAULTS is rejected instead of silently diverging.
+  cfg.faults = scenario.fault_injector() != nullptr ? 1 : 0;
   cfg.algo_seed = scenario.algorithm_seed(0);
   cfg.shed_penalty_ms = options.shed_penalty_ms;
   return cfg;
@@ -52,15 +56,37 @@ ServeOptions options_from_trace(const TraceConfig& config) {
   return options;
 }
 
-ReplayResult replay_trace(const std::string& path) {
+ReplayResult replay_trace(const std::string& path, ReplayOptions options) {
   TraceReader reader(path);
+  ReplayResult result;
   std::vector<SlotTraceRecord> records;
   {
     SlotTraceRecord rec;
-    while (reader.next(rec)) records.push_back(std::move(rec));
+    std::string error;
+    for (;;) {
+      const RecordStatus status = reader.next_status(rec, &error);
+      if (status == RecordStatus::kRecord) {
+        records.push_back(std::move(rec));
+        continue;
+      }
+      if (status == RecordStatus::kFooter) {
+        result.sealed = true;
+      } else if (options.salvage) {
+        // Truncate at the last checksum-valid record and replay the
+        // intact prefix; what was lost is reported, not fatal.
+        result.salvaged = true;
+        result.lost_bytes = reader.file_bytes() - reader.last_good_offset();
+        result.tail_error = error;
+      } else if (status == RecordStatus::kCorrupt) {
+        MECSC_CHECK_MSG(false, error.empty() ? "corrupt trace record" : error);
+      } else {
+        // Truncated tail (writer died mid-stream): the intact prefix
+        // still replays; --verify reports the missing seal.
+        result.tail_error = error;
+      }
+      break;
+    }
   }
-  ReplayResult result;
-  result.sealed = reader.saw_footer();
   if (records.empty()) {
     result.bit_identical = true;  // vacuously: nothing to diverge on
     result.detail = "trace holds no slot records";
@@ -72,9 +98,12 @@ ReplayResult replay_trace(const std::string& path) {
   // Pin the recorded env-resolved aggregate mode: replay must reproduce
   // the run as recorded, not as the current environment would run it.
   params.aggregate = static_cast<core::AggregateMode>(cfg.aggregate);
+  // Faults are replayed from the records' realised-fault blocks, never
+  // from a regenerated plan — build the faults-off problem instance and
+  // ignore MECSC_FAULTS entirely.
+  params.fault.mode = fault::FaultMode::kOff;
+  params.fault_env_override = false;
   sim::Scenario scenario(params);
-  MECSC_CHECK_MSG(scenario.fault_injector() == nullptr,
-                  "serve replay does not compose with MECSC_FAULTS; unset it");
   const core::CachingProblem& problem = scenario.problem();
   const std::size_t n = problem.num_requests();
   const std::size_t stations = problem.num_stations();
@@ -99,10 +128,35 @@ ReplayResult replay_trace(const std::string& path) {
                                                ol_options, cfg.algo_seed);
   sim::SlotEngine engine(problem);
 
+  bool replayed_faults = false;
   for (std::size_t t = 0; t < records.size(); ++t) {
     const SlotTraceRecord& rec = records[t];
-    sim::SlotRecord stepped =
-        engine.step(t, algorithm, demands.slot(t), rec.unit_delays);
+    // Honor the watchdog flags the live run recorded: the replay must
+    // walk the exact same decision path, degraded or re-committed.
+    if ((rec.flags & kSlotFlagDegradedHint) != 0) algorithm.set_decide_hint(2);
+    const bool run_decide = (rec.flags & kSlotFlagRecommit) == 0;
+    sim::SlotRecord stepped;
+    if ((rec.flags & kSlotFlagFaults) != 0) {
+      MECSC_CHECK_MSG(rec.station_up.size() == stations &&
+                          rec.feedback_lost.size() == stations &&
+                          rec.effective_capacity_mhz.size() == stations,
+                      "trace fault block does not match the scenario");
+      scenario.mutable_problem().set_station_capacities(
+          rec.effective_capacity_mhz);
+      replayed_faults = true;
+      sim::SlotFaultState faults;
+      faults.station_up = rec.station_up;
+      faults.feedback_lost = rec.feedback_lost;
+      faults.outage_penalty_factor = rec.outage_penalty_factor;
+      faults.shed_requests = rec.fault_shed_requests;
+      faults.shed_penalty_ms = rec.fault_shed_penalty_ms;
+      stepped = engine.step_recorded(t, algorithm, demands.slot(t),
+                                     rec.unit_delays, faults, run_decide);
+    } else {
+      stepped =
+          engine.step(t, algorithm, demands.slot(t), rec.unit_delays,
+                      run_decide);
+    }
     const core::Assignment& decision = engine.last_decision();
 
     for (std::size_t l = 0; l < n; ++l) {
@@ -138,6 +192,7 @@ ReplayResult replay_trace(const std::string& path) {
     }
     ++result.slots_compared;
   }
+  if (replayed_faults) scenario.mutable_problem().reset_station_capacities();
   engine.end_run();
   result.bit_identical = true;
   return result;

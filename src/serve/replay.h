@@ -23,6 +23,15 @@
 
 namespace mecsc::serve {
 
+/// Replay behaviour knobs.
+struct ReplayOptions {
+  /// Salvage mode: instead of aborting on a torn or corrupt tail,
+  /// truncate at the last checksum-valid record, replay the intact
+  /// prefix, and report exactly what was lost. The recovery path for a
+  /// crashed daemon's trace (`mecsc_serve --verify --salvage`).
+  bool salvage = false;
+};
+
 /// Outcome of replaying one trace.
 struct ReplayResult {
   /// Every recorded slot reproduced bitwise (decisions and objective).
@@ -35,6 +44,12 @@ struct ReplayResult {
   std::size_t first_mismatch_slot = static_cast<std::size_t>(-1);
   /// Human-readable mismatch description ("" when identical).
   std::string detail;
+  /// Salvage mode only: true when tail damage was truncated away.
+  bool salvaged = false;
+  /// Bytes discarded past the last checksum-valid record.
+  std::uint64_t lost_bytes = 0;
+  /// Why reading stopped before the footer ("" for a sealed trace).
+  std::string tail_error;
 };
 
 /// The trace header a live run with `options` stamps: the scenario
@@ -50,10 +65,13 @@ ServeOptions options_from_trace(const TraceConfig& config);
 
 /// Replays `path` through the batch decision engine and verifies bit
 /// identity. Throws common::InvalidArgument on an unreadable/corrupt
-/// trace or a trace inconsistent with its own recipe (wrong vector
-/// sizes); mere decision divergence is reported in the result, not
-/// thrown.
-ReplayResult replay_trace(const std::string& path);
+/// trace (unless `options.salvage` truncates the damage away) or a
+/// trace inconsistent with its own recipe (wrong vector sizes); mere
+/// decision divergence is reported in the result, not thrown. Traces
+/// recorded under fault churn (records carrying kSlotFlagFaults) replay
+/// through the recorded fault state; no fault plan or MECSC_FAULTS
+/// environment is needed or consulted.
+ReplayResult replay_trace(const std::string& path, ReplayOptions options = {});
 
 }  // namespace mecsc::serve
 

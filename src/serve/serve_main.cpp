@@ -12,9 +12,15 @@
 //
 //   mecsc_serve --slots 200 --trace-out run.trace --prom-out serve.prom
 //   mecsc_serve --verify run.trace        # replay bit-identity check
+//   mecsc_serve --trace-out run.trace --checkpoint-every 25   # durable
+//   mecsc_serve --trace-out run.trace --resume                # after crash
 //
 // Environment defaults: MECSC_SERVE_SLOT_MS, MECSC_SERVE_SHARDS,
-// MECSC_SERVE_QUEUE_CAP, MECSC_TRACE_OUT (flags win).
+// MECSC_SERVE_QUEUE_CAP, MECSC_TRACE_OUT, MECSC_CHECKPOINT_EVERY,
+// MECSC_SERVE_RETRY_CAP (flags win).
+//
+// Exit codes: 0 success, 1 replay divergence or runtime failure,
+// 2 usage, 3 corrupt/torn trace, 4 resume/checkpoint mismatch.
 
 #include <atomic>
 #include <csignal>
@@ -24,6 +30,7 @@
 #include <iostream>
 #include <string>
 
+#include "common/error.h"
 #include "serve/replay.h"
 #include "serve/service.h"
 
@@ -65,7 +72,20 @@ void usage() {
                "  --trace-out P    record a binary trace (env MECSC_TRACE_OUT)\n"
                "  --prom-out P     live Prometheus dump file, rewritten per slot\n"
                "  --queries        answer JSON queries on stdin/stdout\n"
-               "  --verify P       replay trace P, check bit identity, exit 0/1\n");
+               "  --checkpoint-every N  durable checkpoint every N slots\n"
+               "                        (env MECSC_CHECKPOINT_EVERY; needs --trace-out)\n"
+               "  --checkpoint-path P   checkpoint file (default <trace>.ckpt)\n"
+               "  --resume         restore the checkpoint, truncate the trace's\n"
+               "                   torn tail, continue bit-identically\n"
+               "  --retry-cap N    bounded submit retries before shedding\n"
+               "                   (env MECSC_SERVE_RETRY_CAP)\n"
+               "  --paced-min-ms N minimum wall time per paced slot (crash tests)\n"
+               "  --no-watchdog    disable the decide-deadline watchdog\n"
+               "  --verify P       replay trace P, check bit identity\n"
+               "  --salvage        with --verify: truncate a torn/corrupt tail at\n"
+               "                   the last checksum-valid record, replay the rest\n"
+               "exit codes: 0 ok, 1 divergence/runtime, 2 usage, 3 corrupt trace,\n"
+               "            4 resume mismatch\n");
 }
 
 }  // namespace
@@ -78,6 +98,7 @@ int main(int argc, char** argv) {
 
   ServeOptions options = mecsc::serve::serve_options_from_env();
   bool queries = false;
+  bool salvage = false;
   std::string verify_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -117,8 +138,22 @@ int main(int argc, char** argv) {
       options.prom_out = next(arg);
     } else if (std::strcmp(arg, "--queries") == 0) {
       queries = true;
+    } else if (std::strcmp(arg, "--checkpoint-every") == 0) {
+      options.checkpoint_every = parse_size(arg, next(arg));
+    } else if (std::strcmp(arg, "--checkpoint-path") == 0) {
+      options.checkpoint_path = next(arg);
+    } else if (std::strcmp(arg, "--resume") == 0) {
+      options.resume = true;
+    } else if (std::strcmp(arg, "--retry-cap") == 0) {
+      options.submit_retries = parse_size(arg, next(arg));
+    } else if (std::strcmp(arg, "--paced-min-ms") == 0) {
+      options.paced_min_slot_ms = parse_size(arg, next(arg));
+    } else if (std::strcmp(arg, "--no-watchdog") == 0) {
+      options.watchdog = false;
     } else if (std::strcmp(arg, "--verify") == 0) {
       verify_path = next(arg);
+    } else if (std::strcmp(arg, "--salvage") == 0) {
+      salvage = true;
     } else if (std::strcmp(arg, "--help") == 0 || std::strcmp(arg, "-h") == 0) {
       usage();
       return 0;
@@ -131,20 +166,38 @@ int main(int argc, char** argv) {
 
   if (!verify_path.empty()) {
     try {
-      const ReplayResult result = mecsc::serve::replay_trace(verify_path);
-      if (result.bit_identical && result.sealed) {
+      mecsc::serve::ReplayOptions replay_options;
+      replay_options.salvage = salvage;
+      const ReplayResult result =
+          mecsc::serve::replay_trace(verify_path, replay_options);
+      if (result.salvaged) {
         std::fprintf(stderr,
-                     "mecsc_serve: %zu slot(s) replayed bit-for-bit, trace sealed\n",
-                     result.slots_compared);
+                     "mecsc_serve: salvage discarded %llu byte(s) past the "
+                     "last checksum-valid record (%s)\n",
+                     static_cast<unsigned long long>(result.lost_bytes),
+                     result.tail_error.c_str());
+      }
+      if (result.bit_identical && (result.sealed || result.salvaged)) {
+        std::fprintf(stderr,
+                     "mecsc_serve: %zu slot(s) replayed bit-for-bit, %s\n",
+                     result.slots_compared,
+                     result.sealed ? "trace sealed" : "salvaged prefix intact");
         return 0;
       }
-      if (!result.sealed) {
-        std::fprintf(stderr, "mecsc_serve: trace is not sealed (no footer)\n");
+      if (!result.sealed && !result.salvaged) {
+        std::fprintf(stderr, "mecsc_serve: trace is not sealed (no footer)%s%s\n",
+                     result.tail_error.empty() ? "" : ": ",
+                     result.tail_error.c_str());
       }
       if (!result.detail.empty()) {
         std::fprintf(stderr, "mecsc_serve: %s\n", result.detail.c_str());
       }
-      return 1;
+      // Bitwise divergence is exit 1; a trace that replays clean but is
+      // torn (unsealed, no salvage requested) is the corrupt-trace code.
+      return result.bit_identical ? 3 : 1;
+    } catch (const mecsc::common::InvalidArgument& e) {
+      std::fprintf(stderr, "mecsc_serve: corrupt trace: %s\n", e.what());
+      return 3;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "mecsc_serve: replay failed: %s\n", e.what());
       return 1;
@@ -185,13 +238,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "mecsc_serve: served %zu slot(s)%s, ingested %llu, shed %llu, "
                  "mean delay %.3f ms, decide p99 %.3f ms (max %.3f), "
-                 "%zu deadline miss(es)\n",
+                 "%zu deadline miss(es), %llu submit retr%s (%llu gave up), "
+                 "%zu recommit(s)\n",
                  report.slots_served, report.stopped_early ? " (stopped early)" : "",
                  static_cast<unsigned long long>(report.ingested),
                  static_cast<unsigned long long>(report.shed),
                  report.mean_delay_ms, report.p99_decide_ms, report.max_decide_ms,
-                 report.deadline_misses);
+                 report.deadline_misses,
+                 static_cast<unsigned long long>(report.ingest_retries),
+                 report.ingest_retries == 1 ? "y" : "ies",
+                 static_cast<unsigned long long>(report.ingest_gave_up),
+                 report.watchdog_recommits);
     return 0;
+  } catch (const mecsc::serve::ResumeMismatch& e) {
+    std::fprintf(stderr, "mecsc_serve: resume mismatch: %s\n", e.what());
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "mecsc_serve: %s\n", e.what());
     return 1;

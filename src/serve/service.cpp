@@ -33,6 +33,10 @@ ServeOptions serve_options_from_env() {
   options.shards = common::env_size_or("MECSC_SERVE_SHARDS", options.shards);
   options.queue_capacity =
       common::env_size_or("MECSC_SERVE_QUEUE_CAP", options.queue_capacity);
+  options.submit_retries =
+      common::env_size_or("MECSC_SERVE_RETRY_CAP", options.submit_retries);
+  options.checkpoint_every =
+      common::env_size_or("MECSC_CHECKPOINT_EVERY", options.checkpoint_every);
   if (const char* v = std::getenv("MECSC_TRACE_OUT");
       v != nullptr && *v != '\0') {
     options.trace_out = v;
@@ -59,12 +63,16 @@ SlotService::SlotService(ServeOptions options) : options_(std::move(options)) {
   MECSC_CHECK_MSG(options_.shed_penalty_ms >= 0.0,
                   "shed penalty must be non-negative");
 
+  if (options_.checkpoint_every > 0 || options_.resume) {
+    MECSC_CHECK_MSG(!options_.trace_out.empty(),
+                    "checkpointing requires a trace (checkpoints store trace "
+                    "offsets); set --trace/MECSC_TRACE_OUT");
+    if (options_.checkpoint_path.empty()) {
+      options_.checkpoint_path = options_.trace_out + ".ckpt";
+    }
+  }
+
   scenario_ = std::make_unique<sim::Scenario>(scenario_params(options_));
-  // Faults mutate capacities and demand sample paths behind the
-  // pipeline's back; a trace recorded under MECSC_FAULTS could not be
-  // replayed bit-for-bit by an environment without it. Refuse upfront.
-  MECSC_CHECK_MSG(scenario_->fault_injector() == nullptr,
-                  "mecsc::serve does not compose with MECSC_FAULTS; unset it");
 
   queue_ = std::make_unique<ShardedIngestQueue>(options_.shards,
                                                 options_.queue_capacity);
@@ -74,16 +82,78 @@ SlotService::SlotService(ServeOptions options) : options_(std::move(options)) {
   algorithm_ = std::make_unique<algorithms::OnlineCachingAlgorithm>(
       "OL_GD", scenario_->problem(), ol_options, scenario_->algorithm_seed(0));
   engine_ = std::make_unique<sim::SlotEngine>(scenario_->problem());
+  // Fault-churn composition: the engine runs the injector's per-slot
+  // effects exactly like the batch simulator, and every slot's realised
+  // fault state is recorded into the trace (kSlotFlagFaults), so replay
+  // stays bit-for-bit without the plan.
+  if (scenario_->mutable_fault_injector() != nullptr) {
+    engine_->set_fault_injector(scenario_->mutable_fault_injector());
+  }
 
   producer_count_ = options_.producers > 0 ? options_.producers : 1;
   producers_done_ =
       std::vector<std::atomic<std::uint32_t>>(options_.horizon);
   shed_per_slot_ = std::vector<std::atomic<std::uint32_t>>(options_.horizon);
 
-  if (!options_.trace_out.empty()) {
+  if (options_.resume) {
+    resume_from_checkpoint();
+  } else if (!options_.trace_out.empty()) {
     trace_ = std::make_unique<TraceWriter>(
         options_.trace_out, trace_config_for(options_, *scenario_));
   }
+}
+
+void SlotService::resume_from_checkpoint() {
+  const Checkpoint ckpt = read_checkpoint(options_.checkpoint_path);
+  const TraceConfig expected = trace_config_for(options_, *scenario_);
+  if (!same_trace_config(ckpt.config, expected)) {
+    throw ResumeMismatch(
+        "checkpoint recipe does not match the daemon's options (seed, sizes, "
+        "slot length, aggregation and fault modes must all be identical): " +
+        options_.checkpoint_path);
+  }
+  // The trace on disk must still contain the checkpointed prefix intact
+  // — anything past it (torn tail from the crash) is discarded below.
+  TraceInspection insp = inspect_trace(options_.trace_out);
+  if (!same_trace_config(insp.config, ckpt.config) ||
+      insp.salvage_offset < ckpt.trace_offset ||
+      insp.salvage_records < ckpt.trace_records) {
+    throw ResumeMismatch(
+        "trace file does not contain the checkpointed prefix: " +
+        options_.trace_out);
+  }
+  trace_ = TraceWriter::resume(options_.trace_out,
+                               static_cast<std::size_t>(ckpt.trace_records),
+                               ckpt.trace_offset);
+  algorithm_->import_state(ckpt.algo);
+  engine_->import_state(ckpt.engine);
+  start_slot_ = static_cast<std::size_t>(ckpt.slot) + 1;
+  MECSC_CHECK_MSG(start_slot_ <= options_.horizon,
+                  "checkpoint is beyond the configured horizon");
+  served_ingested_ = ckpt.ingested;
+  served_shed_ = ckpt.shed;
+  ingested_total_.store(ckpt.ingested, std::memory_order_relaxed);
+  shed_total_.store(ckpt.shed, std::memory_order_relaxed);
+  ingest_retries_.store(ckpt.ingest_retries, std::memory_order_relaxed);
+  ingest_gave_up_.store(ckpt.ingest_gave_up, std::memory_order_relaxed);
+  // Replay the fault plan's begin_slot side effects up to the resume
+  // point: the injector itself is stateless per slot (the plan is
+  // pre-materialised), so nothing to fast-forward there.
+}
+
+void SlotService::write_slot_checkpoint(std::size_t t) {
+  Checkpoint ckpt;
+  ckpt.config = trace_config_for(options_, *scenario_);
+  ckpt.slot = static_cast<std::uint32_t>(t);
+  ckpt.trace_records = trace_->records_written();
+  ckpt.trace_offset = trace_->byte_offset();
+  ckpt.ingested = served_ingested_;
+  ckpt.shed = served_shed_;
+  ckpt.ingest_retries = ingest_retries_.load(std::memory_order_relaxed);
+  ckpt.ingest_gave_up = ingest_gave_up_.load(std::memory_order_relaxed);
+  ckpt.algo = algorithm_->export_state();
+  ckpt.engine = engine_->export_state();
+  write_checkpoint(options_.checkpoint_path, ckpt);
 }
 
 SlotService::~SlotService() {
@@ -120,9 +190,28 @@ bool SlotService::submit(std::uint32_t request, std::uint32_t slot,
     // Fall through to one last attempt so a stopping run still counts
     // the event as shed rather than silently dropping it.
   }
+  // Bounded retry with exponential backoff: the first attempts only
+  // yield (a drain pass usually frees cells within microseconds), later
+  // ones sleep with doubling pauses capped at 64 µs. Only after the cap
+  // (MECSC_SERVE_RETRY_CAP) is the event shed.
   for (std::size_t attempt = 0; attempt <= options_.submit_retries; ++attempt) {
-    if (queue_->try_push(home, ev)) return true;
+    if (queue_->try_push(home, ev)) {
+      if (attempt > 0) {
+        ingest_retries_.fetch_add(attempt, std::memory_order_relaxed);
+      }
+      return true;
+    }
+    if (attempt < options_.submit_retries) {
+      if (attempt < 8) {
+        std::this_thread::yield();
+      } else {
+        const std::size_t shift = std::min<std::size_t>(attempt - 8, 6);
+        std::this_thread::sleep_for(std::chrono::microseconds(1ULL << shift));
+      }
+    }
   }
+  ingest_retries_.fetch_add(options_.submit_retries, std::memory_order_relaxed);
+  ingest_gave_up_.fetch_add(1, std::memory_order_relaxed);
   if (slot < shed_per_slot_.size()) {
     shed_per_slot_[slot].fetch_add(1, std::memory_order_relaxed);
   }
@@ -145,7 +234,7 @@ void SlotService::producer_loop(std::size_t producer_index) {
   // accumulation is exact regardless of shard count.
   const std::size_t lo = producer_index * n / producer_count_;
   const std::size_t hi = (producer_index + 1) * n / producer_count_;
-  for (std::size_t t = 0; t < options_.horizon; ++t) {
+  for (std::size_t t = start_slot_; t < options_.horizon; ++t) {
     while (open_slot_.load(std::memory_order_acquire) <
            static_cast<std::int64_t>(t)) {
       if (stop_.load(std::memory_order_acquire)) return;
@@ -168,12 +257,14 @@ void SlotService::collector_loop() {
   std::vector<IngestEvent> buffer;
   buffer.reserve(4096);
   bool stopping = false;
-  for (std::size_t t = 0; t < options_.horizon && !stopping; ++t) {
+  for (std::size_t t = start_slot_; t < options_.horizon && !stopping; ++t) {
     SlotBatch batch;
     batch.slot = t;
     batch.snapshot.assign(n, 0.0);
     const auto opened = Clock::now();
     const auto deadline = opened + slot_len;
+    const auto min_deadline =
+        opened + std::chrono::milliseconds(options_.paced_min_slot_ms);
     open_slot_.store(static_cast<std::int64_t>(t), std::memory_order_release);
     for (;;) {
       buffer.clear();
@@ -189,9 +280,15 @@ void SlotService::collector_loop() {
       if (options_.paced) {
         // Data-paced close: every producer finished the slot. Their
         // done-flags release-order after their pushes, so one final
-        // drain below observes every event of the slot.
-        close = close || producers_done_[t].load(std::memory_order_acquire) >=
-                             producer_count_;
+        // drain below observes every event of the slot. The optional
+        // minimum-dwell deadline (paced_min_slot_ms) delays the close
+        // without changing the snapshot — producers are already done.
+        bool done = producers_done_[t].load(std::memory_order_acquire) >=
+                    producer_count_;
+        if (done && options_.paced_min_slot_ms > 0) {
+          done = Clock::now() >= min_deadline;
+        }
+        close = close || done;
       } else {
         close = close || Clock::now() >= deadline;
       }
@@ -250,9 +347,37 @@ void SlotService::decide_loop() {
     const std::size_t t = batch.slot;
     const std::vector<double>& delays =
         scenario_->simulator().unit_delays(t);
-    algorithm_->set_live_demands(batch.snapshot);
+
+    // Decide-deadline watchdog (wall-clock mode only): one over-budget
+    // decide hints the next slot straight to the degraded solver; two
+    // consecutive misses re-commit the previous placement without
+    // deciding at all, so a stuck solver can never stall ingest. The
+    // chosen mode is recorded in the trace flags — replay honours them,
+    // which keeps the bit-identity contract under wall-clock timing.
+    std::uint32_t slot_flags = 0;
+    bool recommit = false;
+    const bool watchdog_active = options_.watchdog && !options_.paced;
+    if (watchdog_active && watchdog_streak_ > 0) {
+      if (watchdog_streak_ >= 2 && engine_->has_decision()) {
+        recommit = true;
+        slot_flags |= kSlotFlagRecommit;
+      } else {
+        algorithm_->set_decide_hint(2);
+        slot_flags |= kSlotFlagDegradedHint;
+        ++watchdog_degraded_;
+      }
+    }
+
+    if (!recommit) algorithm_->set_live_demands(batch.snapshot);
     sim::SlotRecord record =
-        engine_->step(t, *algorithm_, batch.snapshot, delays);
+        engine_->step(t, *algorithm_, batch.snapshot, delays, !recommit);
+
+    // Fault-side shed accounting as the engine recorded it — captured
+    // before the serve-side fold below so the trace keeps the two
+    // contributions separate (replay folds each side exactly once).
+    const auto fault_shed_requests =
+        static_cast<std::uint32_t>(record.fault_shed_requests);
+    const double fault_shed_penalty_ms = record.fault_shed_penalty_ms;
 
     if (batch.shed > 0) {
       // Admission-control shedding, accounted exactly as the fault
@@ -271,6 +396,8 @@ void SlotService::decide_loop() {
     }
 
     commit(t);
+    served_ingested_ += batch.ingested;
+    served_shed_ += batch.shed;
 
     if (trace_ != nullptr) {
       SlotTraceRecord tr;
@@ -290,11 +417,33 @@ void SlotService::decide_loop() {
       tr.cached_bits = pack_cached_bits(decision.cached);
       tr.ingested = batch.ingested;
       tr.shed = batch.shed;
-      tr.shed_penalty_ms = record.fault_shed_penalty_ms;
+      tr.shed_penalty_ms =
+          static_cast<double>(batch.shed) * options_.shed_penalty_ms;
       tr.avg_delay_ms = record.avg_delay_ms;
       tr.decide_ms = record.decision_time_ms;
+      tr.flags = slot_flags;
+      const fault::FaultInjector* injector = scenario_->fault_injector();
+      if (injector != nullptr) {
+        // Realised fault state of the slot — everything step_recorded
+        // needs to reproduce the engine's fault arithmetic at replay
+        // without the plan.
+        tr.flags |= kSlotFlagFaults;
+        const fault::SlotFaults& sf = injector->plan().slot(t);
+        tr.station_up.assign(sf.station_up.begin(), sf.station_up.end());
+        tr.feedback_lost.assign(sf.feedback_lost.begin(),
+                                sf.feedback_lost.end());
+        tr.effective_capacity_mhz = injector->effective_capacities();
+        tr.outage_penalty_factor =
+            injector->plan().options().outage_penalty_factor;
+        tr.fault_shed_requests = fault_shed_requests;
+        tr.fault_shed_penalty_ms = fault_shed_penalty_ms;
+      }
       trace_->append(tr);
       trace_->flush();
+      if (options_.checkpoint_every > 0 &&
+          (t + 1) % options_.checkpoint_every == 0) {
+        write_slot_checkpoint(t);
+      }
     }
 
     // Live serve.* telemetry — written directly (not via the gated
@@ -318,9 +467,29 @@ void SlotService::decide_loop() {
     registry.counter("serve.ingested").add(static_cast<double>(batch.ingested));
     registry.counter("serve.shed").add(static_cast<double>(batch.shed));
     registry.histogram("serve.decide_ms").observe(record.decision_time_ms);
-    if (record.decision_time_ms > slot_ms) {
+    registry.gauge("serve.ingest_retries")
+        .set(static_cast<double>(
+            ingest_retries_.load(std::memory_order_relaxed)));
+    registry.gauge("serve.ingest_gave_up")
+        .set(static_cast<double>(
+            ingest_gave_up_.load(std::memory_order_relaxed)));
+    const bool missed = record.decision_time_ms > slot_ms;
+    if (missed) {
       ++deadline_misses_;
       registry.counter("serve.deadline_misses").inc();
+    }
+    if (watchdog_active) {
+      if (recommit) {
+        // A re-commit costs ~no decide time; retry a (hinted) decide
+        // next slot rather than re-committing forever.
+        watchdog_streak_ = 1;
+        ++watchdog_recommits_;
+        registry.counter("serve.watchdog_recommits").inc();
+      } else if (missed) {
+        ++watchdog_streak_;
+      } else {
+        watchdog_streak_ = 0;
+      }
     }
     export_prometheus();
 
@@ -359,7 +528,11 @@ ServeReport SlotService::join() {
   report.slots_served = slot_records_.size();
   report.ingested = ingested_total_.load(std::memory_order_relaxed);
   report.shed = shed_total_.load(std::memory_order_relaxed);
+  report.ingest_retries = ingest_retries_.load(std::memory_order_relaxed);
+  report.ingest_gave_up = ingest_gave_up_.load(std::memory_order_relaxed);
   report.deadline_misses = deadline_misses_;
+  report.watchdog_recommits = watchdog_recommits_;
+  report.watchdog_degraded = watchdog_degraded_;
   report.stopped_early = stopped_early_;
   if (!slot_records_.empty()) {
     double delay_sum = 0.0;

@@ -34,13 +34,25 @@
 #include <vector>
 
 #include "algorithms/ol_gd.h"
+#include "common/error.h"
 #include "fault/fault_injector.h"
+#include "serve/checkpoint.h"
 #include "serve/ingest_queue.h"
 #include "serve/trace_io.h"
 #include "sim/scenario.h"
 #include "sim/slot_engine.h"
 
 namespace mecsc::serve {
+
+/// Thrown by a resuming SlotService when the checkpoint's recipe does
+/// not byte-match the daemon's options, or the trace file does not
+/// contain the checkpointed prefix — restoring decision state into a
+/// different scenario would be meaningless. The daemon maps this to
+/// exit code 4.
+class ResumeMismatch : public common::InvalidArgument {
+ public:
+  using common::InvalidArgument::InvalidArgument;
+};
 
 /// Configuration of one service run. Environment defaults come from
 /// serve_options_from_env(); flags in `mecsc_serve` override them.
@@ -64,9 +76,35 @@ struct ServeOptions {
   /// the same accounting fault::FaultInjector applies to admission-shed
   /// requests (fault::FaultOptions::shed_penalty_ms).
   double shed_penalty_ms = 250.0;
-  /// Producer push retries before an event is shed (wall mode; paced
-  /// producers retry until the collector catches up and never shed).
+  /// Producer push retries before an event is shed (wall mode;
+  /// MECSC_SERVE_RETRY_CAP). Retries back off exponentially — yields
+  /// first, then escalating microsleeps — so a transiently full shard
+  /// costs retries, not shed events. Paced producers retry until the
+  /// collector catches up and never shed.
   std::size_t submit_retries = 64;
+  /// Checkpoint the full decision state every N completed slots
+  /// (MECSC_CHECKPOINT_EVERY; 0 = off). Requires a trace
+  /// (checkpoints store trace offsets for crash-consistent resume).
+  std::size_t checkpoint_every = 0;
+  /// Checkpoint file ("" = `trace_out` + ".ckpt").
+  std::string checkpoint_path;
+  /// Restore state from `checkpoint_path` and continue serving at the
+  /// checkpointed slot + 1 (the trace's torn tail is truncated back to
+  /// the checkpointed offset). Throws ResumeMismatch on a recipe or
+  /// trace mismatch.
+  bool resume = false;
+  /// Paced mode only: keep each slot open at least this many wall-clock
+  /// ms even after every producer finished it. Snapshot contents are
+  /// unchanged (producers are done); this merely slows the slot cadence
+  /// so crash tests can land a SIGKILL mid-run deterministically.
+  std::size_t paced_min_slot_ms = 0;
+  /// Decide-deadline watchdog (wall-clock mode only; paced runs are
+  /// deterministic and never degraded). After one over-budget decide the
+  /// next slot's decide is hinted straight to the degraded solver; after
+  /// two consecutive misses the next slot re-commits the previous
+  /// placement without deciding at all. Both events are recorded in the
+  /// trace's per-record flags, so replay stays bit-identical.
+  bool watchdog = true;
   std::string trace_out;            ///< Trace file (MECSC_TRACE_OUT; "" = off).
   std::string prom_out;             ///< Live Prometheus dump path ("" = off).
 };
@@ -93,10 +131,14 @@ struct ServeReport {
   std::size_t slots_served = 0;
   std::uint64_t ingested = 0;       ///< Events folded into snapshots.
   std::uint64_t shed = 0;           ///< Events shed by admission control.
+  std::uint64_t ingest_retries = 0; ///< Producer pushes retried (backoff).
+  std::uint64_t ingest_gave_up = 0; ///< Events shed after the retry cap.
   double mean_delay_ms = 0.0;       ///< Mean realised slot objective.
   double p99_decide_ms = 0.0;       ///< p99 decide() wall-clock.
   double max_decide_ms = 0.0;
   std::size_t deadline_misses = 0;  ///< Slots whose decide() ran past slot_ms.
+  std::size_t watchdog_recommits = 0;  ///< Slots re-committed by the watchdog.
+  std::size_t watchdog_degraded = 0;   ///< Slots decided under a degraded hint.
   bool stopped_early = false;       ///< True when a stop request cut the run.
 };
 
@@ -165,6 +207,18 @@ class SlotService {
     return slot_records_;
   }
 
+  /// First slot this run serves (> 0 after a resume).
+  std::size_t start_slot() const noexcept { return start_slot_; }
+
+  /// Producer pushes retried against a full shard so far.
+  std::uint64_t ingest_retries() const noexcept {
+    return ingest_retries_.load(std::memory_order_relaxed);
+  }
+  /// Events shed after exhausting the retry cap so far.
+  std::uint64_t ingest_gave_up() const noexcept {
+    return ingest_gave_up_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct SlotBatch {
     std::size_t slot = 0;
@@ -180,6 +234,8 @@ class SlotService {
   void producer_loop(std::size_t producer_index);
   void commit(std::size_t slot);
   void export_prometheus() const;
+  void resume_from_checkpoint();
+  void write_slot_checkpoint(std::size_t t);
 
   ServeOptions options_;
   std::unique_ptr<sim::Scenario> scenario_;
@@ -198,6 +254,20 @@ class SlotService {
   std::vector<std::atomic<std::uint32_t>> shed_per_slot_;
   std::atomic<std::uint64_t> ingested_total_{0};
   std::atomic<std::uint64_t> shed_total_{0};
+  std::atomic<std::uint64_t> ingest_retries_{0};
+  std::atomic<std::uint64_t> ingest_gave_up_{0};
+
+  // Resume / checkpoint state. served_* are decide-side tallies (only
+  // slots whose decision committed), so a checkpoint never counts a
+  // slot the resumed run will re-ingest.
+  std::size_t start_slot_ = 0;
+  std::uint64_t served_ingested_ = 0;
+  std::uint64_t served_shed_ = 0;
+
+  // Watchdog state (decide worker only).
+  std::size_t watchdog_streak_ = 0;
+  std::size_t watchdog_recommits_ = 0;
+  std::size_t watchdog_degraded_ = 0;
 
   // One-deep handoff between collector and decide worker: the pipeline
   // overlap is exactly "collector accumulates t+1 while decide runs t";

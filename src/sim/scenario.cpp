@@ -117,7 +117,8 @@ Scenario::Scenario(const ScenarioParams& params) : params_(params) {
   // feasibility check below and every algorithm see the same post-fault
   // sample path.
   fault::FaultOptions fopt = params.fault;
-  if (const char* env = std::getenv("MECSC_FAULTS"); env != nullptr && *env != '\0') {
+  if (const char* env = std::getenv("MECSC_FAULTS");
+      params.fault_env_override && env != nullptr && *env != '\0') {
     fopt.mode = fault::mode_from_env();
   }
   if (fopt.mode != fault::FaultMode::kOff) {

@@ -52,6 +52,12 @@ struct ScenarioParams {
   /// seed, so enabling faults never shifts the topology / workload /
   /// delay sample paths.
   fault::FaultOptions fault;
+  /// When false, MECSC_FAULTS is ignored and `fault.mode` alone decides
+  /// whether an injector is built. Trace replay needs this: a trace
+  /// recorded under churn carries the realised fault state per record,
+  /// so its replay must build the faults-off problem instance no matter
+  /// what the replaying process's environment says.
+  bool fault_env_override = true;
   /// Demand-class aggregation (DESIGN.md §11). The default defers to the
   /// MECSC_AGGREGATE environment variable ("off" | "auto" | "on", off
   /// when unset); an explicit mode set here always wins over the
@@ -132,6 +138,12 @@ class Scenario {
   /// The attached fault injector, or null when faults are off. Its plan
   /// records the materialised outage/derate/censor/crowd schedule.
   const fault::FaultInjector* fault_injector() const noexcept {
+    return fault_injector_.get();
+  }
+
+  /// Mutable injector access for live drivers (mecsc::serve attaches it
+  /// to its slot engine, which calls begin_slot per slot).
+  fault::FaultInjector* mutable_fault_injector() noexcept {
     return fault_injector_.get();
   }
 

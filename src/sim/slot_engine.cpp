@@ -16,22 +16,71 @@ SlotEngine::SlotEngine(const core::CachingProblem& problem, bool track_regret)
 SlotRecord SlotEngine::step(std::size_t t,
                             algorithms::CachingAlgorithm& algorithm,
                             const std::vector<double>& true_demands,
-                            const std::vector<double>& unit_delays) {
+                            const std::vector<double>& unit_delays,
+                            bool run_decide) {
+  if (fault_injector_ == nullptr) {
+    return step_core(t, algorithm, true_demands, unit_delays, nullptr,
+                     run_decide);
+  }
+  // Install the slot's effective capacities before the algorithm
+  // decides; the shared core then handles eviction, penalties, and
+  // censoring off the plan's per-slot masks.
+  const fault::SlotFaultSummary& summary = fault_injector_->begin_slot(t);
+  const fault::SlotFaults& sf = fault_injector_->plan().slot(t);
+  FaultView view;
+  view.station_up = sf.station_up.data();
+  view.feedback_lost = sf.feedback_lost.data();
+  view.outage_penalty_factor =
+      fault_injector_->plan().options().outage_penalty_factor;
+  view.active_outages = summary.active_outages;
+  view.censored = summary.censored;
+  view.shed_requests = summary.shed_requests;
+  view.shed_penalty_ms = summary.shed_penalty_ms;
+  return step_core(t, algorithm, true_demands, unit_delays, &view, run_decide);
+}
+
+SlotRecord SlotEngine::step_recorded(std::size_t t,
+                                     algorithms::CachingAlgorithm& algorithm,
+                                     const std::vector<double>& true_demands,
+                                     const std::vector<double>& unit_delays,
+                                     const SlotFaultState& faults,
+                                     bool run_decide) {
+  MECSC_CHECK_MSG(faults.station_up.size() == problem_->num_stations() &&
+                      faults.feedback_lost.size() == problem_->num_stations(),
+                  "recorded fault mask size mismatch");
+  FaultView view;
+  view.station_up = reinterpret_cast<const char*>(faults.station_up.data());
+  view.feedback_lost =
+      reinterpret_cast<const char*>(faults.feedback_lost.data());
+  view.outage_penalty_factor = faults.outage_penalty_factor;
+  for (std::uint8_t up : faults.station_up) {
+    if (up == 0) ++view.active_outages;
+  }
+  for (std::uint8_t lost : faults.feedback_lost) {
+    if (lost != 0) ++view.censored;
+  }
+  view.shed_requests = faults.shed_requests;
+  view.shed_penalty_ms = faults.shed_penalty_ms;
+  return step_core(t, algorithm, true_demands, unit_delays, &view, run_decide);
+}
+
+SlotRecord SlotEngine::step_core(std::size_t t,
+                                 algorithms::CachingAlgorithm& algorithm,
+                                 const std::vector<double>& true_demands,
+                                 const std::vector<double>& unit_delays,
+                                 const FaultView* faults, bool run_decide) {
   MECSC_CHECK_MSG(true_demands.size() == problem_->num_requests(),
                   "demand snapshot size mismatch");
   MECSC_CHECK_MSG(unit_delays.size() == problem_->num_stations(),
                   "unit delay vector size mismatch");
   const bool telemetry = obs::enabled();
-  const fault::SlotFaultSummary* faults = nullptr;
   std::size_t evictions = 0;
-  if (fault_injector_ != nullptr) {
-    // Install the slot's effective capacities before the algorithm
-    // decides, and evict every cached instance sitting on a down
-    // station — its re-instantiation after recovery is then naturally
-    // re-charged d_ins by the incremental accounting.
-    faults = &fault_injector_->begin_slot(t);
+  if (faults != nullptr) {
+    // Evict every cached instance sitting on a down station — its
+    // re-instantiation after recovery is then naturally re-charged
+    // d_ins by the incremental accounting.
     for (std::size_t i = 0; i < problem_->num_stations(); ++i) {
-      if (fault_injector_->station_up(t, i)) continue;
+      if (faults->station_up[i] != 0) continue;
       for (auto& row : prev_cached_) {
         if (row[i]) {
           row[i] = false;
@@ -47,12 +96,18 @@ SlotRecord SlotEngine::step(std::size_t t,
   }
   // Every slot's phases are timed into its span timeline; the record's
   // decision_time_ms is derived from the "algo.decide" span so the two
-  // sources can never disagree.
+  // sources can never disagree. A re-commit slot records no decide span
+  // and therefore a ~zero decision time.
   auto timeline = std::make_shared<obs::SlotTimeline>();
-  {
+  if (run_decide) {
     obs::TimelineSpan span(timeline.get(), "algo.decide");
     decision_ = algorithm.decide(t);
+  } else {
+    MECSC_CHECK_MSG(has_decision_,
+                    "re-commit requested before any decision exists");
+    MECSC_COUNT("serve.recommits", 1.0);
   }
+  has_decision_ = true;
 
   const std::vector<double>* delays = &unit_delays;
   if (faults != nullptr) {
@@ -60,10 +115,10 @@ SlotRecord SlotEngine::step(std::size_t t,
     // machinery makes this rare) is scored with the plan's outage
     // penalty on its unit delay.
     eff_delays_ = unit_delays;
-    const double penalty =
-        fault_injector_->plan().options().outage_penalty_factor;
     for (std::size_t i = 0; i < eff_delays_.size(); ++i) {
-      if (!fault_injector_->station_up(t, i)) eff_delays_[i] *= penalty;
+      if (faults->station_up[i] == 0) {
+        eff_delays_[i] *= faults->outage_penalty_factor;
+      }
     }
     delays = &eff_delays_;
   }
@@ -109,7 +164,7 @@ SlotRecord SlotEngine::step(std::size_t t,
       // as NaN and must be skipped, not averaged.
       censored_delays_ = *delays;
       for (std::size_t i = 0; i < censored_delays_.size(); ++i) {
-        if (fault_injector_->feedback_lost(t, i)) {
+        if (faults->feedback_lost[i] != 0) {
           censored_delays_[i] = std::numeric_limits<double>::quiet_NaN();
         }
       }

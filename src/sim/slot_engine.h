@@ -1,6 +1,7 @@
 #ifndef MECSC_SIM_SLOT_ENGINE_H
 #define MECSC_SIM_SLOT_ENGINE_H
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -46,6 +47,28 @@ struct SlotRecord {
   std::shared_ptr<const obs::SlotTimeline> timeline;
 };
 
+/// Realised fault state of one slot, decoupled from a live FaultPlan —
+/// what a serve trace's fault block carries (trace_io's kSlotFlagFaults)
+/// and what step_recorded() replays. One byte per station in the masks
+/// (nonzero = up / censored); the shed fields are the fault subsystem's
+/// admission-control accounting for the slot.
+struct SlotFaultState {
+  std::vector<std::uint8_t> station_up;     ///< Per station, nonzero = up.
+  std::vector<std::uint8_t> feedback_lost;  ///< Per station, nonzero = censored.
+  double outage_penalty_factor = 1.0;       ///< Delay multiplier at down stations.
+  std::uint32_t shed_requests = 0;          ///< Admission-shed requests.
+  double shed_penalty_ms = 0.0;             ///< Shed penalty (pre-averaging).
+};
+
+/// Cross-slot engine state a checkpoint captures: the latest committed
+/// decision and the previous caching set the incremental accounting
+/// compares against.
+struct SlotEngineState {
+  bool has_decision = false;                    ///< A step has committed.
+  core::Assignment decision;                    ///< Latest committed decision.
+  std::vector<std::vector<bool>> prev_cached;   ///< Previous caching set.
+};
+
 /// The per-slot decision protocol (paper §III), extracted from the batch
 /// simulator so live drivers can reuse it verbatim: given slot t's true
 /// demands and realised unit delays, run the algorithm's decide(), score
@@ -79,13 +102,49 @@ class SlotEngine {
   }
 
   /// Runs the full slot protocol for slot `t`: decide → score → observe.
-  /// Slots must be stepped in increasing order within one run.
+  /// Slots must be stepped in increasing order within one run. With
+  /// `run_decide` false the engine skips the algorithm's decide() and
+  /// re-commits the previous slot's placement verbatim (the watchdog's
+  /// last resort; requires a prior decision), still scoring and
+  /// observing the slot normally.
   SlotRecord step(std::size_t t, algorithms::CachingAlgorithm& algorithm,
                   const std::vector<double>& true_demands,
-                  const std::vector<double>& unit_delays);
+                  const std::vector<double>& unit_delays,
+                  bool run_decide = true);
+
+  /// step() against a *recorded* fault state instead of an attached
+  /// injector — the replay side of fault-trace composition. The caller
+  /// is responsible for installing `faults.effective_capacity` into the
+  /// problem (core::CachingProblem::set_station_capacities) before the
+  /// call, exactly like FaultInjector::begin_slot does on the live side;
+  /// the engine handles eviction, outage penalties, shed folding, and
+  /// feedback censoring from the recorded masks.
+  SlotRecord step_recorded(std::size_t t,
+                           algorithms::CachingAlgorithm& algorithm,
+                           const std::vector<double>& true_demands,
+                           const std::vector<double>& unit_delays,
+                           const SlotFaultState& faults,
+                           bool run_decide = true);
 
   /// The integral decision of the latest step() (valid after the first).
   const core::Assignment& last_decision() const noexcept { return decision_; }
+
+  /// True once a decision exists (after the first step, or after
+  /// import_state of a state that had one) — the precondition of a
+  /// re-commit step.
+  bool has_decision() const noexcept { return has_decision_; }
+
+  /// Snapshots the engine's cross-slot state (checkpointing).
+  SlotEngineState export_state() const {
+    return SlotEngineState{has_decision_, decision_, prev_cached_};
+  }
+
+  /// Restores a snapshot taken by export_state().
+  void import_state(const SlotEngineState& state) {
+    has_decision_ = state.has_decision;
+    decision_ = state.decision;
+    prev_cached_ = state.prev_cached;
+  }
 
   /// Restores the problem's full static capacities (when a fault
   /// injector is attached). Call once after the run's last step.
@@ -98,10 +157,29 @@ class SlotEngine {
   }
 
  private:
+  /// Uniform view over live (injector) and recorded fault state, so the
+  /// two step paths share one slot-protocol implementation. Null masks
+  /// mean "no faults this slot".
+  struct FaultView {
+    const char* station_up = nullptr;     // per station, nonzero = up
+    const char* feedback_lost = nullptr;  // per station, nonzero = lost
+    double outage_penalty_factor = 1.0;
+    std::size_t active_outages = 0;
+    std::size_t censored = 0;
+    std::size_t shed_requests = 0;
+    double shed_penalty_ms = 0.0;
+  };
+
+  SlotRecord step_core(std::size_t t, algorithms::CachingAlgorithm& algorithm,
+                       const std::vector<double>& true_demands,
+                       const std::vector<double>& unit_delays,
+                       const FaultView* faults, bool run_decide);
+
   const core::CachingProblem* problem_;
   fault::FaultInjector* fault_injector_ = nullptr;
   std::optional<core::RegretTracker> regret_;
   core::Assignment decision_;
+  bool has_decision_ = false;
   std::vector<std::vector<bool>> prev_cached_;  // empty at slot 0
   std::vector<double> eff_delays_;              // fault-mode scratch
   std::vector<double> censored_delays_;         // fault-mode scratch

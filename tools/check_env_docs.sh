@@ -18,8 +18,10 @@ cd "$(dirname "$0")/.."
 # and assertion macros, include guards (filtered by _H suffix too), and
 # the compile-time SIMD macros (MECSC_FORCE_SCALAR is a CMake option;
 # MECSC_SIMD_AVX2 / MECSC_AVX2 are #define dispatch switches — the
-# digit-less token regex below truncates them to *_AVX).
-EXCLUDE='MECSC_CHECK|MECSC_COUNT|MECSC_GAUGE_SET|MECSC_HISTOGRAM|MECSC_SPAN|MECSC_OBS_CONCAT|MECSC_TEST_ENV|MECSC_FORCE_SCALAR|MECSC_SIMD_AVX$|MECSC_AVX$|MECSC_[A-Z_]*_H\b'
+# digit-less token regex below truncates them to *_AVX). The assertion
+# macros are anchored ($) so they don't swallow real env vars sharing
+# the prefix (MECSC_CHECKPOINT_EVERY).
+EXCLUDE='MECSC_CHECK$|MECSC_CHECK_MSG$|MECSC_COUNT|MECSC_GAUGE_SET|MECSC_HISTOGRAM|MECSC_SPAN|MECSC_OBS_CONCAT|MECSC_TEST_ENV|MECSC_FORCE_SCALAR|MECSC_SIMD_AVX$|MECSC_AVX$|MECSC_[A-Z_]*_H\b'
 
 # Every MECSC_[A-Z_]* token in the shipped C++ sources (tests excluded:
 # they may poke internals; CMake files use MECSC_* for list variables),
