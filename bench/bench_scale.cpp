@@ -1,19 +1,29 @@
-// Scaling sweep for demand-class aggregation (DESIGN.md §11): runs OL_GD
-// at |R| in {1k, 10k, 100k} with the per-slot solve aggregated
-// (MECSC_AGGREGATE-style classes) and, where affordable, unaggregated,
-// then reports per-slot decision time, mean delay and class counts.
-// Results are printed as a table and written to BENCH_scale.json.
+// Scaling sweep for demand-class aggregation (DESIGN.md §11) and the
+// solver tiers (DESIGN.md §16): runs OL_GD at |R| in {1k, 10k, 100k, 1M}
+// with the per-slot solve aggregated (MECSC_AGGREGATE-style classes) and,
+// where affordable, unaggregated, on the flow and Lagrangian tiers, then
+// reports per-slot decision time, mean delay and class counts. Results
+// are printed as a table and written to BENCH_scale.json.
 //
 // Acceptance gates (printed as OK/MISMATCH):
 //   * aggregated decision time grows sublinearly in |R| from 1k to 100k;
 //   * aggregated is >= 5x faster than unaggregated at 10k;
-//   * aggregated mean delay is within 2% of unaggregated at 1k.
+//   * aggregated mean delay is within 2% of unaggregated at 1k;
+//   * Lagrangian-tier decision time grows sublinearly 100k -> 1M;
+//   * the Lagrangian objective is within 1% of the exact flow LP at 10k.
 // `--quick` shrinks sizes for the CTest perf-smoke label; it checks the
 // harness runs end-to-end, not that the numbers are good.
+// `--baseline <path>` additionally validates a committed BENCH_scale.json
+// (bench/baselines/): the recorded full-grid points must satisfy the
+// 100k -> 1M sublinear-growth and objective-gap gates, and violations
+// fail the process — this is how perf-smoke enforces the 1M gates
+// without timing a 1M run on CI hardware.
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -21,6 +31,10 @@
 #include "algorithms/ol_gd.h"
 #include "bench_util.h"
 #include "common/table.h"
+#include "core/aggregation.h"
+#include "core/fractional_solver.h"
+#include "core/lagrangian_solver.h"
+#include "core/solver_tier.h"
 #include "sim/scenario.h"
 #include "sim/simulator.h"
 
@@ -31,20 +45,24 @@ namespace {
 struct ScalePoint {
   std::size_t requests = 0;
   bool aggregated = false;
+  core::SolverTier tier = core::SolverTier::kFlow;
   double decision_ms_per_slot = 0.0;
   double mean_delay_ms = 0.0;
   std::size_t classes = 0;  // 0 on the unaggregated path
   std::size_t slots = 0;
 };
 
-void write_json(const std::vector<ScalePoint>& points, bool quick) {
+void write_json(const std::vector<ScalePoint>& points, double lag_gap_rel,
+                bool quick) {
   std::ofstream out("BENCH_scale.json");
   out << "{\n  " << bench::json_meta() << ",\n  \"quick\": "
-      << (quick ? "true" : "false") << ",\n  \"points\": [\n";
+      << (quick ? "true" : "false") << ",\n  \"lag_gap_rel\": " << lag_gap_rel
+      << ",\n  \"points\": [\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const auto& p = points[i];
     out << "    {\"requests\": " << p.requests << ", \"aggregated\": "
-        << (p.aggregated ? "true" : "false")
+        << (p.aggregated ? "true" : "false") << ", \"solver\": \""
+        << core::solver_tier_name(p.tier) << "\""
         << ", \"decision_ms_per_slot\": " << p.decision_ms_per_slot
         << ", \"mean_delay_ms\": " << p.mean_delay_ms
         << ", \"classes\": " << p.classes << ", \"slots\": " << p.slots << "}"
@@ -53,15 +71,27 @@ void write_json(const std::vector<ScalePoint>& points, bool quick) {
   out << "  ]\n}\n";
 }
 
-/// Runs OL_GD once on `scenario` with aggregation forced on or off and
-/// returns the measured point. The explicit mode overrides any
-/// MECSC_AGGREGATE in the environment (the sweep must control both arms).
+std::string mode_name(bool aggregated, core::SolverTier tier) {
+  std::string m = aggregated ? "agg" : "flat";
+  if (tier != core::SolverTier::kFlow) {
+    m += "+";
+    m += core::solver_tier_name(tier);
+  }
+  return m;
+}
+
+/// Runs OL_GD once on `scenario` with aggregation and the solver tier
+/// forced explicitly and returns the measured point. The explicit
+/// settings override any MECSC_AGGREGATE / MECSC_SOLVER in the
+/// environment (the sweep must control every arm).
 ScalePoint run_point(sim::Scenario& scenario, std::size_t requests,
-                     bool aggregated, std::size_t slots) {
+                     bool aggregated, core::SolverTier tier,
+                     std::size_t slots) {
   algorithms::OlOptions opt;
   opt.theta_prior = scenario.theta_prior();
   opt.aggregate =
       aggregated ? core::AggregateMode::kOn : core::AggregateMode::kOff;
+  opt.solver = tier;
   algorithms::OnlineCachingAlgorithm ol("OL_GD", scenario.problem(),
                                         &scenario.demands(), opt,
                                         scenario.algorithm_seed(0));
@@ -69,11 +99,12 @@ ScalePoint run_point(sim::Scenario& scenario, std::size_t requests,
   ScalePoint p;
   p.requests = requests;
   p.aggregated = aggregated;
+  p.tier = tier;
   p.decision_ms_per_slot = r.mean_decision_time_ms();
   p.mean_delay_ms = r.mean_delay_ms();
   p.classes = ol.last_num_classes();
   p.slots = slots;
-  std::cout << "  |R|=" << requests << (aggregated ? " agg " : " flat")
+  std::cout << "  |R|=" << requests << " " << mode_name(aggregated, tier)
             << ": " << common::fmt(p.decision_ms_per_slot, 2)
             << " ms/slot decision, mean delay "
             << common::fmt(p.mean_delay_ms, 2) << " ms"
@@ -84,11 +115,34 @@ ScalePoint run_point(sim::Scenario& scenario, std::size_t requests,
 }
 
 const ScalePoint* find(const std::vector<ScalePoint>& points,
-                       std::size_t requests, bool aggregated) {
+                       std::size_t requests, bool aggregated,
+                       core::SolverTier tier) {
   for (const auto& p : points) {
-    if (p.requests == requests && p.aggregated == aggregated) return &p;
+    if (p.requests == requests && p.aggregated == aggregated &&
+        p.tier == tier) {
+      return &p;
+    }
   }
   return nullptr;
+}
+
+/// Relative objective gap of one Lagrangian class-solve versus the exact
+/// flow LP on the identical classing and θ (slot 0 of `scenario`). This
+/// is the direct solver-vs-solver form of the tier-equivalence contract:
+/// same columns, same cost coefficients, same true-Eq.3 scoring.
+double lag_gap_vs_exact(sim::Scenario& scenario) {
+  const core::CachingProblem& problem = scenario.problem();
+  std::vector<double> theta(problem.num_stations(), scenario.theta_prior());
+  const std::vector<double> demands = scenario.demands().slot(0);
+  core::DemandClassing classing;
+  classing.build(problem, demands, core::AggregationOptions{});
+  core::FractionalSolver exact(problem);
+  const core::FractionalSolution lp = exact.solve_classes(classing, theta);
+  core::LagrangianSolver lag(problem);
+  const core::LagrangianOutcome out = lag.solve_classes(classing, theta);
+  if (!out.converged) return std::numeric_limits<double>::infinity();
+  return (out.solution.objective - lp.objective) /
+         std::max(1e-9, lp.objective);
 }
 
 /// In full mode prints OK/MISMATCH; in --quick the same lines are
@@ -101,45 +155,135 @@ void check(bool ok, bool quick, const std::string& what) {
             << (quick ? " (info)" : (ok ? " (OK)" : " (MISMATCH)")) << "\n";
 }
 
+/// decision_ms_per_slot recorded in a baselines JSON (write_json format)
+/// for the (requests, solver) point, or a negative value when absent.
+/// String scan — the files are machine-written, one point per line.
+double baseline_decision_ms(const std::string& path, std::size_t requests,
+                            const char* solver) {
+  std::ifstream in(path);
+  if (!in) return -1.0;
+  const std::string req_needle =
+      "\"requests\": " + std::to_string(requests) + ",";
+  const std::string solver_needle =
+      std::string("\"solver\": \"") + solver + "\"";
+  const std::string key = "\"decision_ms_per_slot\": ";
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find(req_needle) == std::string::npos ||
+        line.find(solver_needle) == std::string::npos) {
+      continue;
+    }
+    const std::size_t at = line.find(key);
+    if (at == std::string::npos) return -1.0;
+    return std::strtod(line.c_str() + at + key.size(), nullptr);
+  }
+  return -1.0;
+}
+
+/// Top-level scalar recorded in a baselines JSON, or NaN when absent.
+double baseline_scalar(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  if (!in) return std::numeric_limits<double>::quiet_NaN();
+  const std::string key = "\"" + name + "\": ";
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t at = line.find(key);
+    if (at == std::string::npos) continue;
+    return std::strtod(line.c_str() + at + key.size(), nullptr);
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+/// Enforces the committed baseline's 1M gates. Returns false (and prints
+/// FAIL lines) when the recorded full-grid points violate them — the
+/// perf-smoke leg runs `--quick --baseline` so a bad committed baseline
+/// cannot slip through CI unexamined.
+bool check_baseline(const std::string& path) {
+  bool ok = true;
+  const double lag_100k = baseline_decision_ms(path, 100000, "lagrangian");
+  const double lag_1m = baseline_decision_ms(path, 1000000, "lagrangian");
+  if (lag_100k <= 0.0 || lag_1m <= 0.0) {
+    std::cout << "FAIL: baseline " << path
+              << " lacks the 100k/1M lagrangian points\n";
+    return false;
+  }
+  const double growth = lag_1m / lag_100k;
+  if (growth >= 10.0) {
+    std::cout << "FAIL: baseline lagrangian decision time grew x"
+              << common::fmt(growth, 2)
+              << " from 100k to 1M (gate < x10, sublinear)\n";
+    ok = false;
+  } else {
+    std::cout << "  baseline lagrangian 100k->1M growth x"
+              << common::fmt(growth, 2) << " (gate < x10) (OK)\n";
+  }
+  const double gap = baseline_scalar(path, "lag_gap_rel");
+  if (!(std::abs(gap) <= 0.01)) {
+    std::cout << "FAIL: baseline lagrangian objective gap "
+              << common::fmt(100.0 * gap, 3) << "% exceeds 1% of the exact LP\n";
+    ok = false;
+  } else {
+    std::cout << "  baseline lagrangian objective gap "
+              << common::fmt(100.0 * gap, 3) << "% (gate <= 1%) (OK)\n";
+  }
+  return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool quick = false;
+  std::string baseline_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+    if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      baseline_path = argv[++i];
+    }
   }
 
   bench::print_header(
-      "OL_GD scaling sweep: demand-class aggregation on/off vs |R|",
-      std::string("DESIGN.md §11; BENCH_scale.json") +
+      "OL_GD scaling sweep: aggregation and solver tier vs |R|",
+      std::string("DESIGN.md §11, §16; BENCH_scale.json") +
           (quick ? " [--quick]" : ""));
 
   // Sweep grid. The unaggregated path is O(|R|) columns per solve and
-  // becomes prohibitive beyond 10k, so the 100k point runs aggregated
-  // only (that asymmetry is the point of the bench); expensive arms get
-  // fewer slots to keep wall-clock sane — decision time is reported per
-  // slot, so arms stay comparable.
+  // becomes prohibitive beyond 10k, so the 100k/1M points run aggregated
+  // only (that asymmetry is the point of the bench); the 1M point runs
+  // the Lagrangian tier only (the decomposition is what makes it
+  // tractable). Expensive arms get fewer slots to keep wall-clock sane —
+  // decision time is reported per slot, so arms stay comparable.
   struct Arm {
     std::size_t requests;
     bool aggregated;
+    core::SolverTier tier;
     std::size_t slots;
   };
+  constexpr auto kFlow = core::SolverTier::kFlow;
+  constexpr auto kLag = core::SolverTier::kLagrangian;
   std::vector<Arm> arms;
   const std::size_t stations = quick ? 40 : 100;
   if (quick) {
-    arms = {{300, false, 3}, {300, true, 3}, {1000, false, 3}, {1000, true, 3}};
+    arms = {{300, false, kFlow, 3},
+            {300, true, kFlow, 3},
+            {1000, false, kFlow, 3},
+            {1000, true, kFlow, 3},
+            {1000, true, kLag, 3}};
   } else {
-    arms = {{1000, false, 6},  {1000, true, 6},   {10000, false, 2},
-            {10000, true, 2},  {100000, true, 3}};
+    arms = {{1000, false, kFlow, 6},   {1000, true, kFlow, 6},
+            {10000, false, kFlow, 2},  {10000, true, kFlow, 2},
+            {10000, true, kLag, 2},    {100000, true, kFlow, 3},
+            {100000, true, kLag, 3},   {1000000, true, kLag, 3}};
   }
 
   std::vector<ScalePoint> points;
+  double lag_gap_rel = std::numeric_limits<double>::quiet_NaN();
   std::size_t current_requests = 0;
   std::size_t current_slots = 0;
   std::unique_ptr<sim::Scenario> scenario;
+  const std::size_t gap_requests = quick ? 1000 : 10000;
   for (const Arm& arm : arms) {
-    // Both arms of one |R| share the scenario (same topology, workload
-    // and demand sample path) as long as the slot count matches too.
+    // Arms of one |R| share the scenario (same topology, workload and
+    // demand sample path) as long as the slot count matches too.
     if (scenario == nullptr || current_requests != arm.requests ||
         current_slots != arm.slots) {
       sim::ScenarioParams p;
@@ -152,15 +296,20 @@ int main(int argc, char** argv) {
       current_requests = arm.requests;
       current_slots = arm.slots;
     }
-    points.push_back(
-        run_point(*scenario, arm.requests, arm.aggregated, arm.slots));
+    if (arm.requests == gap_requests && std::isnan(lag_gap_rel)) {
+      lag_gap_rel = lag_gap_vs_exact(*scenario);
+      std::cout << "  |R|=" << arm.requests
+                << " lagrangian objective vs exact LP: "
+                << common::fmt(100.0 * lag_gap_rel, 3) << "%\n";
+    }
+    points.push_back(run_point(*scenario, arm.requests, arm.aggregated,
+                               arm.tier, arm.slots));
   }
 
   common::Table table({"requests", "mode", "classes", "decision (ms/slot)",
                        "mean delay (ms)"});
   for (const auto& p : points) {
-    table.add_row({std::to_string(p.requests),
-                   p.aggregated ? "aggregated" : "per-request",
+    table.add_row({std::to_string(p.requests), mode_name(p.aggregated, p.tier),
                    p.aggregated ? std::to_string(p.classes) : "-",
                    common::fmt(p.decision_ms_per_slot, 2),
                    common::fmt(p.mean_delay_ms, 2)});
@@ -173,11 +322,14 @@ int main(int argc, char** argv) {
   const std::size_t lo = quick ? 300 : 1000;
   const std::size_t mid = quick ? 1000 : 10000;
   const std::size_t hi = quick ? 1000 : 100000;
-  const ScalePoint* agg_lo = find(points, lo, true);
-  const ScalePoint* agg_mid = find(points, mid, true);
-  const ScalePoint* agg_hi = find(points, hi, true);
-  const ScalePoint* flat_lo = find(points, lo, false);
-  const ScalePoint* flat_mid = find(points, mid, false);
+  const std::size_t top = quick ? 1000 : 1000000;
+  const ScalePoint* agg_lo = find(points, lo, true, kFlow);
+  const ScalePoint* agg_mid = find(points, mid, true, kFlow);
+  const ScalePoint* agg_hi = find(points, hi, true, kFlow);
+  const ScalePoint* flat_lo = find(points, lo, false, kFlow);
+  const ScalePoint* flat_mid = find(points, mid, false, kFlow);
+  const ScalePoint* lag_hi = find(points, hi, true, kLag);
+  const ScalePoint* lag_top = find(points, top, true, kLag);
   if (agg_lo && agg_hi) {
     const double growth = agg_hi->decision_ms_per_slot /
                           std::max(1e-9, agg_lo->decision_ms_per_slot);
@@ -202,9 +354,31 @@ int main(int argc, char** argv) {
           "aggregated mean delay within 2% of per-request at " +
               std::to_string(lo) + " (" + common::fmt(100.0 * rel, 2) + "%)");
   }
+  if (lag_hi && lag_top && hi != top) {
+    const double growth = lag_top->decision_ms_per_slot /
+                          std::max(1e-9, lag_hi->decision_ms_per_slot);
+    const double size_ratio =
+        static_cast<double>(top) / static_cast<double>(hi);
+    check(growth < size_ratio, quick,
+          "lagrangian decision time sublinear " + std::to_string(hi) + "->" +
+              std::to_string(top) + " (x" + common::fmt(growth, 1) +
+              " vs linear x" + common::fmt(size_ratio, 0) + ")");
+  }
+  if (!std::isnan(lag_gap_rel)) {
+    check(std::abs(lag_gap_rel) <= 0.01, quick,
+          "lagrangian objective within 1% of exact LP at " +
+              std::to_string(gap_requests) + " (" +
+              common::fmt(100.0 * lag_gap_rel, 3) + "%)");
+  }
 
-  write_json(points, quick);
+  write_json(points, lag_gap_rel, quick);
   std::cout << "\nwrote BENCH_scale.json\n";
+
+  bool ok = true;
+  if (!baseline_path.empty()) {
+    std::cout << "\nBaseline gates (" << baseline_path << "):\n";
+    ok = check_baseline(baseline_path);
+  }
   bench::dump_telemetry();
-  return 0;
+  return ok ? 0 : 1;
 }

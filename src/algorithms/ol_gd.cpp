@@ -28,6 +28,14 @@ core::BanditState make_bandit(const core::CachingProblem& problem,
   return core::BanditState(std::move(priors));
 }
 
+// The tier decide() dispatches on, resolved once at construction (a
+// mid-run setenv cannot desynchronise replications). The legacy
+// use_exact_lp flag is the code-level spelling of kSimplex and wins.
+core::SolverTier resolve_tier(const OlOptions& options) {
+  if (options.use_exact_lp) return core::SolverTier::kSimplex;
+  return core::resolve_solver_tier(options.solver);
+}
+
 }  // namespace
 
 OnlineCachingAlgorithm::OnlineCachingAlgorithm(std::string name,
@@ -39,6 +47,8 @@ OnlineCachingAlgorithm::OnlineCachingAlgorithm(std::string name,
       given_demands_(given_demands),
       options_(options),
       solver_(problem),
+      lag_solver_(problem, options.lagrangian),
+      solver_tier_(resolve_tier(options)),
       bandit_(make_bandit(problem, options)),
       rng_(seed),
       aggregate_mode_(core::resolve_aggregate_mode(options.aggregate)) {
@@ -57,6 +67,8 @@ OnlineCachingAlgorithm::OnlineCachingAlgorithm(
       predictor_(std::move(predictor)),
       options_(options),
       solver_(problem),
+      lag_solver_(problem, options.lagrangian),
+      solver_tier_(resolve_tier(options)),
       bandit_(make_bandit(problem, options)),
       rng_(seed),
       aggregate_mode_(core::resolve_aggregate_mode(options.aggregate)) {
@@ -72,6 +84,8 @@ OnlineCachingAlgorithm::OnlineCachingAlgorithm(std::string name,
       given_demands_(nullptr),
       options_(options),
       solver_(problem),
+      lag_solver_(problem, options.lagrangian),
+      solver_tier_(resolve_tier(options)),
       bandit_(make_bandit(problem, options)),
       rng_(seed),
       aggregate_mode_(core::resolve_aggregate_mode(options.aggregate)) {}
@@ -90,6 +104,7 @@ OlGdState OnlineCachingAlgorithm::export_state() const {
   state.rng_stream = rng_.save_state();
   state.lp_warm = lp_workspace_.export_warm_state();
   state.solver_warm = solver_.export_warm_state();
+  state.lag_warm = lag_solver_.export_warm_state();
   return state;
 }
 
@@ -100,6 +115,7 @@ void OnlineCachingAlgorithm::import_state(const OlGdState& state) {
                   "corrupt RNG stream in algorithm state");
   lp_workspace_.import_warm_state(state.lp_warm);
   solver_.import_warm_state(state.solver_warm);
+  lag_solver_.import_warm_state(state.lag_warm);
 }
 
 std::vector<double> OnlineCachingAlgorithm::demands_for(std::size_t t) {
@@ -153,18 +169,33 @@ core::Assignment OnlineCachingAlgorithm::decide(std::size_t t) {
                     static_cast<double>(last_num_classes_));
   }
 
+  // Solver-tier dispatch (DESIGN.md §16): kAuto resolves per slot by
+  // column count — the Lagrangian decomposition only pays for itself
+  // once the column universe is large; below the threshold the flow
+  // path is already exact and fast.
+  core::SolverTier tier = solver_tier_;
+  if (tier == core::SolverTier::kAuto) {
+    const std::size_t columns =
+        aggregate ? last_num_classes_ : problem_->num_requests();
+    tier = columns >= options_.lagrangian.auto_threshold
+               ? core::SolverTier::kLagrangian
+               : core::SolverTier::kFlow;
+  }
+  last_solver_tier_ = tier;
+
   core::FractionalSolution frac;
   last_fallback_depth_ = 0;
   const int hint = decide_hint_;
   decide_hint_ = 0;
-  if (options_.use_exact_lp && hint >= 2) {
-    // Watchdog/replay hint: skip the simplex entirely and decide this
-    // slot on the (much cheaper) degraded flow path.
+  if (tier != core::SolverTier::kFlow && hint >= 2) {
+    // Watchdog/replay hint: skip the primary solver entirely and decide
+    // this slot on the (much cheaper) degraded flow path. The flow tier
+    // ignores the hint — its primary solve *is* the degraded flow solve.
     last_fallback_depth_ = 2;
     core::SolveReport report;
     frac = aggregate ? solver_.solve_classes(classing_, theta, &report)
                      : solver_.solve_degraded(last_demands_, theta);
-  } else if (options_.use_exact_lp) {
+  } else if (tier == core::SolverTier::kSimplex) {
     // The aggregated model has one x row per class, so its shape varies
     // slot to slot; the workspace shape check cold-starts the simplex
     // whenever the class count changes.
@@ -188,6 +219,24 @@ core::Assignment OnlineCachingAlgorithm::decide(std::size_t t) {
       core::SolveReport report;
       frac = aggregate ? solver_.solve_classes(classing_, theta, &report)
                        : solver_.solve_degraded(last_demands_, theta);
+    }
+  } else if (tier == core::SolverTier::kLagrangian) {
+    core::LagrangianOutcome out = aggregate
+                                      ? lag_solver_.solve_classes(classing_, theta)
+                                      : lag_solver_.solve(last_demands_, theta);
+    if (out.converged) {
+      frac = std::move(out.solution);
+    } else {
+      // Duality-gap target missed within the iteration cap (or the
+      // instance is too close to capacity for the relaxation's repair
+      // slack): fall back to the exact flow path, which degrades
+      // gracefully in place if the instance is outright infeasible.
+      MECSC_COUNT("lag.fallbacks", 1.0);
+      last_fallback_depth_ = 1;
+      core::SolveReport report;
+      frac = aggregate ? solver_.solve_classes(classing_, theta, &report)
+                       : solver_.solve_degraded(last_demands_, theta, &report);
+      if (report.degraded) last_fallback_depth_ = 2;
     }
   } else {
     core::SolveReport report;

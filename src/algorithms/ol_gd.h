@@ -10,8 +10,10 @@
 #include "core/aggregation.h"
 #include "core/bandit.h"
 #include "core/fractional_solver.h"
+#include "core/lagrangian_solver.h"
 #include "core/problem.h"
 #include "core/rounding.h"
+#include "core/solver_tier.h"
 #include "lp/simplex.h"
 #include "predict/predictor.h"
 #include "workload/demand_model.h"
@@ -63,6 +65,15 @@ struct OlOptions {
   core::AggregateMode aggregate = core::AggregateMode::kEnv;
   /// Class-construction tunables used when aggregation is active.
   core::AggregationOptions aggregation;
+  /// Which solver answers the per-slot LP (DESIGN.md §16). kEnv (the
+  /// default) defers to MECSC_SOLVER; an explicit tier set in code wins
+  /// over the environment. `use_exact_lp = true` above is the legacy
+  /// spelling of kSimplex and takes precedence when set.
+  core::SolverTier solver = core::SolverTier::kEnv;
+  /// Lagrangian-tier tunables (iteration cap, target duality gap, kAuto
+  /// column threshold); defaults resolve MECSC_LAG_ITERS / MECSC_LAG_GAP
+  /// once at options construction.
+  core::LagrangianOptions lagrangian = core::lagrangian_options_from_env();
 };
 
 /// Complete cross-slot decision state of an OnlineCachingAlgorithm — the
@@ -78,6 +89,7 @@ struct OlGdState {
   std::string rng_stream;                  ///< Rounding RNG stream state.
   lp::SimplexWarmState lp_warm;            ///< Simplex warm-start basis.
   core::FractionalWarmState solver_warm;   ///< Flow-solver warm state.
+  core::LagrangianWarmState lag_warm;      ///< Lagrangian duals λ + step.
 };
 
 /// The paper's online learning algorithm (Algorithm 1, OL_GD) and its
@@ -143,6 +155,13 @@ class OnlineCachingAlgorithm final : public CachingAlgorithm {
   /// per-request path (aggregation off, or kAuto below its threshold).
   std::size_t last_num_classes() const noexcept { return last_num_classes_; }
 
+  /// The solver tier that produced the latest decide()'s fractional
+  /// solution after kEnv/kAuto resolution — kFlow, kSimplex or
+  /// kLagrangian. Note a Lagrangian solve that failed its duality-gap
+  /// target still reports kLagrangian with last_fallback_depth() >= 1
+  /// (the fractional solution then came from the exact flow path).
+  core::SolverTier last_solver_tier() const noexcept { return last_solver_tier_; }
+
   /// Snapshots the complete cross-slot decision state (see OlGdState).
   OlGdState export_state() const;
 
@@ -152,11 +171,11 @@ class OnlineCachingAlgorithm final : public CachingAlgorithm {
 
   /// One-shot degradation hint consumed by the next decide(): a depth of
   /// 2 skips the primary (and cold-restart) solves and goes straight to
-  /// the flow-based degraded solve. The serve watchdog sets this after a
-  /// deadline miss; replay sets it when a record carries
-  /// kSlotFlagDegradedHint, so both runs walk the same solver path. A
-  /// no-op on the flow path, whose primary solve already degrades
-  /// gracefully in place.
+  /// the flow-based degraded solve — on the simplex *and* Lagrangian
+  /// tiers alike. The serve watchdog sets this after a deadline miss;
+  /// replay sets it when a record carries kSlotFlagDegradedHint, so both
+  /// runs walk the same solver path. A no-op on the flow tier, whose
+  /// primary solve already degrades gracefully in place.
   void set_decide_hint(int depth) { decide_hint_ = depth; }
 
  private:
@@ -169,6 +188,12 @@ class OnlineCachingAlgorithm final : public CachingAlgorithm {
   std::optional<std::vector<double>> live_demands_;  // one-shot override
   OlOptions options_;
   core::FractionalSolver solver_;
+  core::LagrangianSolver lag_solver_;
+  // Env-resolved solver tier, fixed at construction (same rationale as
+  // aggregate_mode_ below); kAuto survives resolution and is re-resolved
+  // per slot by column count.
+  core::SolverTier solver_tier_ = core::SolverTier::kFlow;
+  core::SolverTier last_solver_tier_ = core::SolverTier::kFlow;
   // Reused across slots by the exact-LP path: per-slot models share one
   // shape, so the simplex warm-starts from the previous slot's basis.
   lp::SimplexWorkspace lp_workspace_;

@@ -38,6 +38,29 @@ inline std::size_t env_size_or(const char* name, std::size_t fallback) {
   return env_size_strict(name).value_or(fallback);
 }
 
+/// Parses environment variable `name` as a finite double (strtod
+/// grammar, whole-string). Same strictness contract as env_size_strict:
+/// unset/empty yields std::nullopt silently; a malformed or non-finite
+/// value is rejected with a stderr warning.
+inline std::optional<double> env_double_strict(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0' || !(parsed == parsed) ||
+      parsed > 1e308 || parsed < -1e308) {
+    std::fprintf(stderr, "mecsc: ignoring %s=\"%s\" — not a finite number\n",
+                 name, v);
+    return std::nullopt;
+  }
+  return parsed;
+}
+
+/// `env_double_strict` with a fallback for unset/empty/rejected values.
+inline double env_double_or(const char* name, double fallback) {
+  return env_double_strict(name).value_or(fallback);
+}
+
 }  // namespace mecsc::common
 
 #endif  // MECSC_COMMON_ENV_H

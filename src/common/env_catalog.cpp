@@ -18,6 +18,13 @@ const std::vector<EnvVar>& env_catalog() {
        "(DESIGN.md §9)."},
       {"MECSC_GAN_STEPS", "size_t", "per bench (400)",
        "GAN predictor training steps in the OL_GAN benches."},
+      {"MECSC_LAG_GAP", "double", "0.01",
+       "Relative duality-gap target of the Lagrangian solver tier; a "
+       "solve that misses it falls back to the exact flow path "
+       "(DESIGN.md §16)."},
+      {"MECSC_LAG_ITERS", "size_t", "200",
+       "Subgradient-ascent iteration cap per Lagrangian solve "
+       "(DESIGN.md §16)."},
       {"MECSC_PREDICT_BATCH", "size_t", "1024",
        "Max histories per fused GAN inference pass; results are bitwise "
        "independent of the value (DESIGN.md \"SIMD & batching\")."},
@@ -41,6 +48,9 @@ const std::vector<EnvVar>& env_catalog() {
        "\"SIMD & batching\")."},
       {"MECSC_SLOTS", "size_t", "per bench (100-400)",
        "Run-horizon time slots in the bench harnesses."},
+      {"MECSC_SOLVER", "enum: flow|simplex|lagrangian|auto", "flow",
+       "Per-slot LP solver tier (DESIGN.md §16); auto picks lagrangian "
+       "at >= 4096 LP columns, flow below."},
       {"MECSC_STATIONS", "size_t", "per bench (100)",
        "Base stations in the bench harnesses."},
       {"MECSC_TELEMETRY", "enum: off|summary|full", "off",

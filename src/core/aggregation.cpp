@@ -38,6 +38,29 @@ std::uint64_t pack_key(std::uint32_t service, std::uint32_t home,
          (static_cast<std::uint64_t>(home) << 16) | biased;
 }
 
+/// Nudge applied before the floor of the generic log-ratio bucketing: a
+/// demand sitting exactly on a bucket edge (ρ = ratio^j) evaluates
+/// log(ρ)·inv_log_ratio to j ± a few ulp depending on the libm build and
+/// whether the compiler contracts the multiply into an FMA; flooring
+/// that raw value puts edge demands in bucket j on one CI leg and j−1 on
+/// another, so MECSC_AGGREGATE runs were not reproducible across the
+/// SIMD/scalar matrix. The nudge absorbs the ulp noise (it only moves
+/// demands within a ~1e-9 relative band below an edge up into the edge's
+/// bucket — far tighter than any bucket_ratio > 1 resolves anyway).
+constexpr double kBucketEdgeNudge = 1e-9;
+
+/// Platform-stable geometric bucket index of a positive demand:
+/// floor(log(ρ) / log(bucket_ratio)). The default ratio 2.0 uses the
+/// IEEE-754 exponent directly (std::ilogb — exact on every platform, no
+/// libm in the loop); other ratios fall back to the epsilon-nudged
+/// log-quotient. Pinned by AggregationTest.BucketEdgesArePlatformStable.
+std::int32_t demand_bucket(double rho, double bucket_ratio,
+                           double inv_log_ratio) {
+  if (bucket_ratio == 2.0) return static_cast<std::int32_t>(std::ilogb(rho));
+  return static_cast<std::int32_t>(
+      std::floor(std::log(rho) * inv_log_ratio + kBucketEdgeNudge));
+}
+
 }  // namespace
 
 void DemandClassing::build(const CachingProblem& problem,
@@ -60,8 +83,7 @@ void DemandClassing::build(const CachingProblem& problem,
     const double rho = demands[l];
     std::int32_t bucket = DemandClass::kZeroDemandBucket;
     if (rho > 0.0) {
-      bucket = static_cast<std::int32_t>(
-          std::floor(std::log(rho) * inv_log_ratio));
+      bucket = demand_bucket(rho, options.bucket_ratio, inv_log_ratio);
     }
     const auto service = static_cast<std::uint32_t>(requests[l].service_id);
     const auto home = static_cast<std::uint32_t>(requests[l].home_station);

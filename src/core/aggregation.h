@@ -41,7 +41,11 @@ struct AggregationOptions {
   /// Geometric width of the unit-demand buckets: requests l, l' of one
   /// (service, home station) pair land in the same class when their
   /// demands differ by less than this factor, i.e. the bucket index is
-  /// floor(log(ρ) / log(bucket_ratio)). Must be > 1. Smaller values mean
+  /// floor(log(ρ) / log(bucket_ratio)), computed platform-stably (the
+  /// default 2.0 reads the IEEE-754 exponent via std::ilogb; other
+  /// ratios use an epsilon-nudged log quotient) so demands sitting
+  /// exactly on a bucket edge land in the same bucket on every
+  /// libm/FMA configuration. Must be > 1. Smaller values mean
   /// more classes and a tighter de-aggregation; 2.0 keeps the realised
   /// delay within ~2% of the per-request path on the paper's workloads
   /// (bench_scale) while compressing dense instances by an order of

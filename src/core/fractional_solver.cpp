@@ -20,6 +20,30 @@ constexpr double kDualTol = 1e-7;
 
 }  // namespace
 
+void FractionalSolver::import_warm_state(const FractionalWarmState& state) const {
+  const std::size_t ns = problem_->num_stations();
+  bool ok = state.station_price.empty() || state.station_price.size() == ns;
+  for (const auto& arcs : state.warm_arcs) {
+    if (!ok) break;
+    for (std::uint32_t i : arcs) {
+      if (i >= ns) {
+        ok = false;
+        break;
+      }
+    }
+  }
+  if (!ok) {
+    // Stale snapshot (wrong station universe): cold start. Silently
+    // accepting it would index arcs past the working-set mask.
+    MECSC_COUNT("frac.warm_state_rejected", 1.0);
+    s_.warm.clear();
+    s_.station_price.clear();
+    return;
+  }
+  s_.warm = state.warm_arcs;
+  s_.station_price = state.station_price;
+}
+
 FractionalSolution FractionalSolver::solve(const std::vector<double>& demands,
                                            const std::vector<double>& theta) const {
   return solve_impl(demands, theta, nullptr);

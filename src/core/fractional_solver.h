@@ -124,11 +124,16 @@ class FractionalSolver {
     return FractionalWarmState{s_.warm, s_.station_price};
   }
 
-  /// Restores a snapshot taken by export_warm_state().
-  void import_warm_state(const FractionalWarmState& state) const {
-    s_.warm = state.warm_arcs;
-    s_.station_price = state.station_price;
-  }
+  /// Restores a snapshot taken by export_warm_state(). Dimension-checked:
+  /// a snapshot whose station-price vector or arc station ids were sized
+  /// for a different station count (stale checkpoint after a topology
+  /// change, or a resume recipe whose byte-compare passed but whose
+  /// aggregation resolution produced a different column universe) is
+  /// rejected as a whole and the solver cold-starts instead of indexing
+  /// stale arcs out of bounds. Column-count drift alone is fine — the
+  /// per-slot class count varies by design and flow_solve resizes the
+  /// warm set — it is the *station* dimension that the arc ids index.
+  void import_warm_state(const FractionalWarmState& state) const;
 
  private:
   /// Request-path implementation: fills the per-column scratch from the

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 #include "common/error.h"
@@ -30,10 +31,12 @@ std::vector<std::vector<std::size_t>> candidate_sets(const FractionalSolution& f
 namespace {
 
 /// Samples a candidate station with probability proportional to x*.
+/// `weights` is caller-owned scratch: this runs once per request, so a
+/// per-call allocation would mean |R| mallocs on the timed slot path.
 std::size_t sample_candidate(const std::vector<double>& x_row,
                              const std::vector<std::size_t>& candidates,
-                             common::Rng& rng) {
-  std::vector<double> weights;
+                             std::vector<double>& weights, common::Rng& rng) {
+  weights.clear();
   weights.reserve(candidates.size());
   for (std::size_t i : candidates) weights.push_back(x_row[i]);
   return candidates[rng.weighted_index(weights)];
@@ -82,6 +85,7 @@ Assignment round_impl(const CachingProblem& problem,
   a.station_of_request.assign(nr, 0);
 
   std::vector<bool> explored(nr, false);
+  std::vector<double> sample_weights;
   bool slot_explores = options.per_slot_coin && rng.uniform() >= 1.0 - options.epsilon;
   for (std::size_t l = 0; l < nr; ++l) {
     bool explore = options.per_slot_coin
@@ -90,7 +94,7 @@ Assignment round_impl(const CachingProblem& problem,
     explored[l] = explore;
     if (!explore) {
       a.station_of_request[l] =
-          sample_candidate(frac.x[row(l)], candi[row(l)], rng);
+          sample_candidate(frac.x[row(l)], candi[row(l)], sample_weights, rng);
       continue;
     }
     // Exploration: uniformly random *up* station outside the candidate
@@ -128,14 +132,25 @@ Assignment round_impl(const CachingProblem& problem,
   for (std::size_t l = 0; l < nr; ++l) {
     load[a.station_of_request[l]] += problem.resource_demand_mhz(demands[l]);
   }
-  // Requests at each station, sorted by ascending fractional commitment.
+  // Requests at each overloaded station, collected in ONE pass over all
+  // requests (a per-station rescan is O(overloaded · |R|) — measurably
+  // superlinear at the 1M-request scale). Safe to precollect: repair
+  // only ever moves a request to a station with room, and a station that
+  // starts overloaded never has room, so no list gains or loses members
+  // before its station is processed.
   double spilled = 0.0;
+  std::vector<std::vector<std::size_t>> members_of_overloaded(ns);
+  bool any_overloaded = false;
+  for (std::size_t i = 0; i < ns; ++i) any_overloaded |= load[i] > cap[i];
+  if (any_overloaded) {
+    for (std::size_t l = 0; l < nr; ++l) {
+      const std::size_t i = a.station_of_request[l];
+      if (load[i] > cap[i]) members_of_overloaded[i].push_back(l);
+    }
+  }
   for (std::size_t i = 0; i < ns; ++i) {
     if (load[i] <= cap[i]) continue;
-    std::vector<std::size_t> here;
-    for (std::size_t l = 0; l < nr; ++l) {
-      if (a.station_of_request[l] == i) here.push_back(l);
-    }
+    std::vector<std::size_t>& here = members_of_overloaded[i];
     std::sort(here.begin(), here.end(), [&](std::size_t a_l, std::size_t b_l) {
       return frac.x[row(a_l)][i] < frac.x[row(b_l)][i];
     });
@@ -177,11 +192,14 @@ Assignment round_impl(const CachingProblem& problem,
   // set, capacity respected, instantiation sharing accounted) tightens
   // the decision toward the fractional optimum without touching the
   // exploration picks, which must stay random for the bandit feedback.
-  std::vector<std::vector<std::size_t>> users_of(problem.num_services() * ns);
+  // Only the per-(service, station) user COUNT matters to the cost
+  // deltas below; keeping member lists here once cost an erase(find(…))
+  // scan of ~|R|/cells entries per accepted move — a hidden superlinear
+  // term in |R| on the timed slot path.
+  std::vector<std::uint32_t> users_of(problem.num_services() * ns, 0);
   auto cell = [ns](std::size_t k, std::size_t i) { return k * ns + i; };
   for (std::size_t l = 0; l < nr; ++l) {
-    users_of[cell(problem.requests()[l].service_id, a.station_of_request[l])]
-        .push_back(l);
+    ++users_of[cell(problem.requests()[l].service_id, a.station_of_request[l])];
   }
   for (int pass = 0; pass < 2; ++pass) {
     bool improved = false;
@@ -193,14 +211,14 @@ Assignment round_impl(const CachingProblem& problem,
       double base_cost = serve_cost(problem, l, from, demands[l], theta);
       // Leaving `from` saves its instantiation delay iff l is the last
       // user of service k there.
-      double leave_saving = users_of[cell(k, from)].size() == 1
+      double leave_saving = users_of[cell(k, from)] == 1
                                 ? problem.instantiation_delay_ms(from, k)
                                 : 0.0;
       std::size_t best_to = from;
       double best_delta = -1e-9;
       for (std::size_t j : candi[row(l)]) {
         if (j == from || cap[j] <= 0.0 || load[j] + res > cap[j]) continue;
-        double open_cost = users_of[cell(k, j)].empty()
+        double open_cost = users_of[cell(k, j)] == 0
                                ? problem.instantiation_delay_ms(j, k)
                                : 0.0;
         double delta = serve_cost(problem, l, j, demands[l], theta) + open_cost -
@@ -211,9 +229,8 @@ Assignment round_impl(const CachingProblem& problem,
         }
       }
       if (best_to == from) continue;
-      auto& from_users = users_of[cell(k, from)];
-      from_users.erase(std::find(from_users.begin(), from_users.end(), l));
-      users_of[cell(k, best_to)].push_back(l);
+      --users_of[cell(k, from)];
+      ++users_of[cell(k, best_to)];
       load[from] -= res;
       load[best_to] += res;
       a.station_of_request[l] = best_to;

@@ -1,0 +1,52 @@
+#ifndef MECSC_CORE_SOLVER_TIER_H
+#define MECSC_CORE_SOLVER_TIER_H
+
+#include <cstddef>
+
+namespace mecsc::core {
+
+/// Per-slot LP solver tier (DESIGN.md §16). The per-slot placement LP is
+/// a generalized assignment problem; three solvers of increasing scale
+/// trade exactness for per-column cost:
+///   * flow — the certified min-cost-flow transportation solve
+///     (FractionalSolver): exact for its cost vector, the library
+///     default and the quality anchor;
+///   * simplex — the dense exact-LP tableau (LpFormulation +
+///     lp::SimplexSolver): solves the coupled x/y LP, small instances
+///     and ablations only;
+///   * lagrangian — Lagrangian decomposition of the station capacity
+///     constraints (LagrangianSolver): each demand class solves an
+///     independent argmin over stations under dual prices λ, with
+///     subgradient ascent on λ and a duality-gap stopping rule that
+///     falls back to the exact flow path when the gap won't close.
+enum class SolverTier {
+  /// Resolve from the MECSC_SOLVER environment variable
+  /// ("flow" | "simplex" | "lagrangian" | "auto"); unset, empty or
+  /// unparsable values mean kFlow. The library default, so every bench
+  /// and example honours the env switch without code changes.
+  kEnv,
+  /// The certified min-cost-flow transportation solve (exact, default).
+  kFlow,
+  /// The dense exact-LP simplex (small instances / ablations).
+  kSimplex,
+  /// Lagrangian decomposition with subgradient ascent and gap-based
+  /// fallback to the flow tier.
+  kLagrangian,
+  /// Pick per slot by column count: lagrangian when the slot's LP has at
+  /// least LagrangianOptions::auto_threshold columns (demand classes
+  /// when aggregation is active, requests otherwise), flow below it.
+  kAuto,
+};
+
+/// Maps kEnv to the MECSC_SOLVER environment variable (defaulting to
+/// kFlow); explicit tiers pass through unchanged, so code-level settings
+/// always win over the environment.
+SolverTier resolve_solver_tier(SolverTier configured);
+
+/// Human-readable tier name ("flow", "simplex", "lagrangian", "auto",
+/// "env") — telemetry labels and bench tables.
+const char* solver_tier_name(SolverTier tier);
+
+}  // namespace mecsc::core
+
+#endif  // MECSC_CORE_SOLVER_TIER_H

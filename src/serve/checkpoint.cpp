@@ -18,7 +18,10 @@ using wire::put;
 using wire::put_bytes;
 
 constexpr std::uint32_t kCheckpointMagic = 0x4B43454DU;  // "MECK"
-constexpr std::uint16_t kCheckpointVersion = 1;
+// v2: appended the Lagrangian dual warm state (λ + step scale) after the
+// flow-solver warm state — required for bit-identical resume under
+// MECSC_SOLVER=lagrangian/auto.
+constexpr std::uint16_t kCheckpointVersion = 2;
 
 void put_doubles(std::string& buf, const std::vector<double>& v) {
   put(buf, static_cast<std::uint64_t>(v.size()));
@@ -116,6 +119,8 @@ std::string serialize_checkpoint(const Checkpoint& ckpt) {
     put_bytes(buf, arcs.data(), arcs.size() * sizeof(std::uint32_t));
   }
   put_doubles(buf, a.solver_warm.station_price);
+  put_doubles(buf, a.lag_warm.lambda);
+  put(buf, a.lag_warm.step_scale);
 
   const sim::SlotEngineState& e = ckpt.engine;
   put(buf, static_cast<std::uint8_t>(e.has_decision ? 1 : 0));
@@ -166,6 +171,8 @@ bool parse_checkpoint(Cursor& c, Checkpoint& ckpt) {
     if (!c.take(arcs.data(), arcs.size() * sizeof(std::uint32_t))) return false;
   }
   if (!take_doubles(c, a.solver_warm.station_price)) return false;
+  if (!take_doubles(c, a.lag_warm.lambda)) return false;
+  if (!c.take(a.lag_warm.step_scale)) return false;
 
   sim::SlotEngineState& e = ckpt.engine;
   std::uint8_t has = 0;

@@ -6,7 +6,8 @@
 //
 // Every MECSC_CHECKPOINT_EVERY slots the daemon serialises its complete
 // cross-slot decision state — bandit pull counts and means, the rounding
-// RNG's stream position, both solver warm states, the engine's committed
+// RNG's stream position, all three solver warm states (simplex basis,
+// flow arcs/prices, Lagrangian duals — format v2), the engine's committed
 // decision and caching set, the trace byte offset — into a single
 // checksummed file, written crash-consistently: the payload goes to a
 // temporary sibling file, is fsync'd, and is atomically renamed over the

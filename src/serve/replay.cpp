@@ -34,6 +34,7 @@ TraceConfig trace_config_for(const ServeOptions& options,
   cfg.slot_ms = static_cast<std::uint32_t>(options.slot_ms);
   cfg.bursty = options.bursty ? 1 : 0;
   cfg.aggregate = static_cast<std::uint8_t>(scenario.aggregate_mode());
+  cfg.solver = static_cast<std::uint8_t>(scenario.solver_tier());
   // Which fault mode the scenario resolved to (the injector exists iff
   // churn is on) — part of the recipe, so a resume under a different
   // MECSC_FAULTS is rejected instead of silently diverging.
@@ -95,9 +96,11 @@ ReplayResult replay_trace(const std::string& path, ReplayOptions options) {
 
   const TraceConfig& cfg = reader.config();
   sim::ScenarioParams params = scenario_params(options_from_trace(cfg));
-  // Pin the recorded env-resolved aggregate mode: replay must reproduce
-  // the run as recorded, not as the current environment would run it.
+  // Pin the recorded env-resolved aggregate mode and solver tier: replay
+  // must reproduce the run as recorded, not as the current environment
+  // would run it.
   params.aggregate = static_cast<core::AggregateMode>(cfg.aggregate);
+  params.solver = static_cast<core::SolverTier>(cfg.solver);
   // Faults are replayed from the records' realised-fault blocks, never
   // from a regenerated plan — build the faults-off problem instance and
   // ignore MECSC_FAULTS entirely.
@@ -124,6 +127,7 @@ ReplayResult replay_trace(const std::string& path, ReplayOptions options) {
 
   algorithms::OlOptions ol_options;
   ol_options.aggregate = params.aggregate;
+  ol_options.solver = params.solver;
   algorithms::OnlineCachingAlgorithm algorithm("OL_GD", problem, &demands,
                                                ol_options, cfg.algo_seed);
   sim::SlotEngine engine(problem);

@@ -79,6 +79,7 @@ SlotService::SlotService(ServeOptions options) : options_(std::move(options)) {
 
   algorithms::OlOptions ol_options;
   ol_options.aggregate = scenario_->aggregate_mode();
+  ol_options.solver = scenario_->solver_tier();
   algorithm_ = std::make_unique<algorithms::OnlineCachingAlgorithm>(
       "OL_GD", scenario_->problem(), ol_options, scenario_->algorithm_seed(0));
   engine_ = std::make_unique<sim::SlotEngine>(scenario_->problem());

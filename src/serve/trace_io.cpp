@@ -16,7 +16,9 @@ using wire::put_bytes;
 constexpr std::uint32_t kHeaderMagic = 0x5443454DU;  // "MECT" little-endian
 constexpr std::uint32_t kRecordMagic = 0x544F4C53U;  // "SLOT"
 constexpr std::uint32_t kFooterMagic = 0x444E4554U;  // "TEND"
-constexpr std::uint16_t kVersion = 2;
+// v3: the TraceConfig carries the env-resolved solver tier (the tier is
+// part of the decision recipe, like the aggregation mode).
+constexpr std::uint16_t kVersion = 3;
 
 std::string serialize_record(const SlotTraceRecord& r) {
   std::string buf;
@@ -128,6 +130,7 @@ std::string serialize_trace_config(const TraceConfig& cfg) {
   put(buf, cfg.bursty);
   put(buf, cfg.aggregate);
   put(buf, cfg.faults);
+  put(buf, cfg.solver);
   put(buf, cfg.algo_seed);
   put(buf, cfg.shed_penalty_ms);
   return buf;
@@ -137,8 +140,8 @@ bool parse_trace_config(wire::Cursor& c, TraceConfig& out) {
   return c.take(out.seed) && c.take(out.num_stations) &&
          c.take(out.num_requests) && c.take(out.num_services) &&
          c.take(out.horizon) && c.take(out.slot_ms) && c.take(out.bursty) &&
-         c.take(out.aggregate) && c.take(out.faults) && c.take(out.algo_seed) &&
-         c.take(out.shed_penalty_ms);
+         c.take(out.aggregate) && c.take(out.faults) && c.take(out.solver) &&
+         c.take(out.algo_seed) && c.take(out.shed_penalty_ms);
 }
 
 bool same_trace_config(const TraceConfig& a, const TraceConfig& b) {

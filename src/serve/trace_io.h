@@ -28,6 +28,11 @@
 // traces recorded under MECSC_FAULTS=churn replay bit-for-bit without
 // the fault plan.
 //
+// Format v3 adds the env-resolved solver tier (MECSC_SOLVER) to the
+// TraceConfig: the tier is part of the decision recipe — the Lagrangian
+// and flow tiers produce different (equally valid) fractional optima —
+// so replay must pin it exactly like the aggregation mode.
+//
 // Every multi-byte count in a record is validated against the bytes
 // actually remaining before any allocation, so a torn or bit-flipped
 // trace yields a typed error (common::InvalidArgument) or a truncation
@@ -106,6 +111,7 @@ struct TraceConfig {
   std::uint8_t bursty = 1;         ///< Bursty workload flag.
   std::uint8_t aggregate = 1;      ///< core::AggregateMode (env-resolved).
   std::uint8_t faults = 0;         ///< fault::FaultMode (env-resolved).
+  std::uint8_t solver = 1;         ///< core::SolverTier (env-resolved; v3).
   std::uint64_t algo_seed = 0;     ///< Seed of the pipeline's algorithm.
   double shed_penalty_ms = 250.0;  ///< Per-shed-request delay penalty.
 };

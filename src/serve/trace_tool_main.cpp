@@ -28,11 +28,25 @@ void usage() {
                "exit codes: 0 sealed, 2 usage, 3 torn or corrupt\n");
 }
 
+// Names the *resolved* core::AggregateMode value the trace stores
+// (kEnv = 0 never appears in a recorded config; headers used to be
+// misprinted here by an off-by-one that ignored the kEnv enumerator).
 const char* aggregate_name(std::uint8_t mode) {
   switch (mode) {
-    case 0: return "off";
-    case 1: return "auto";
-    case 2: return "on";
+    case 1: return "off";
+    case 2: return "auto";
+    case 3: return "on";
+    default: return "?";
+  }
+}
+
+// Names the resolved core::SolverTier value the trace stores (v3).
+const char* solver_name(std::uint8_t tier) {
+  switch (tier) {
+    case 1: return "flow";
+    case 2: return "simplex";
+    case 3: return "lagrangian";
+    case 4: return "auto";
     default: return "?";
   }
 }
@@ -94,10 +108,10 @@ int main(int argc, char** argv) {
               "%u slots x %u ms\n",
               static_cast<unsigned long long>(cfg.seed), cfg.num_stations,
               cfg.num_requests, cfg.num_services, cfg.horizon, cfg.slot_ms);
-  std::printf("         %s demands, aggregate %s, faults %s, algo seed %llu, "
-              "shed penalty %.3f ms\n",
+  std::printf("         %s demands, aggregate %s, solver %s, faults %s, "
+              "algo seed %llu, shed penalty %.3f ms\n",
               cfg.bursty != 0 ? "bursty" : "constant",
-              aggregate_name(cfg.aggregate),
+              aggregate_name(cfg.aggregate), solver_name(cfg.solver),
               cfg.faults != 0 ? "churn" : "off",
               static_cast<unsigned long long>(cfg.algo_seed),
               cfg.shed_penalty_ms);

@@ -10,6 +10,7 @@ namespace mecsc::sim {
 Scenario::Scenario(const ScenarioParams& params) : params_(params) {
   MECSC_CHECK_MSG(params.horizon > 0, "horizon must be > 0");
   aggregate_mode_ = core::resolve_aggregate_mode(params.aggregate);
+  solver_tier_ = core::resolve_solver_tier(params.solver);
   common::Rng root(params.seed);
   common::Rng topo_rng = root.split();
   common::Rng workload_rng = root.split();

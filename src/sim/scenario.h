@@ -6,6 +6,7 @@
 
 #include "core/aggregation.h"
 #include "core/problem.h"
+#include "core/solver_tier.h"
 #include "fault/fault_injector.h"
 #include "fault/fault_plan.h"
 #include "net/delay_process.h"
@@ -65,6 +66,13 @@ struct ScenarioParams {
   /// read it back via Scenario::aggregate_mode() and pass it to
   /// algorithm options so every replication shares one decision.
   core::AggregateMode aggregate = core::AggregateMode::kEnv;
+  /// Per-slot LP solver tier (DESIGN.md §16). The default defers to the
+  /// MECSC_SOLVER environment variable ("flow" | "simplex" | "lagrangian"
+  /// | "auto", flow when unset); an explicit tier set here always wins.
+  /// Resolved once at construction — read it back via
+  /// Scenario::solver_tier() and pass it to OlOptions::solver so every
+  /// replication shares one decision.
+  core::SolverTier solver = core::SolverTier::kEnv;
   /// Root seed every stream (topology, workload, delays, faults) derives
   /// from; same seed + params → bitwise-identical scenario.
   std::uint64_t seed = 1;
@@ -131,6 +139,13 @@ class Scenario {
   /// act on the single decision made at scenario construction.
   core::AggregateMode aggregate_mode() const noexcept { return aggregate_mode_; }
 
+  /// The env-resolved solver tier (never kEnv; kAuto passes through and
+  /// re-resolves per slot by column count): params.solver with
+  /// MECSC_SOLVER applied when it was kEnv. Pass this into
+  /// OlOptions::solver for the same single-decision contract as
+  /// aggregate_mode().
+  core::SolverTier solver_tier() const noexcept { return solver_tier_; }
+
   /// Fresh deterministic seed derived from the scenario seed (for
   /// algorithm instances).
   std::uint64_t algorithm_seed(std::size_t index) const;
@@ -162,6 +177,7 @@ class Scenario {
   std::vector<double> historical_estimates_;
   bool c_unit_derated_ = false;
   core::AggregateMode aggregate_mode_ = core::AggregateMode::kOff;
+  core::SolverTier solver_tier_ = core::SolverTier::kFlow;
   std::uint64_t algo_seed_root_ = 0;
 };
 

@@ -192,6 +192,59 @@ TEST(DemandClassing, SameBucketIffDemandsWithinRatio) {
   EXPECT_EQ(classing.num_classes(), 3u);
 }
 
+// Pinned by the comment on demand_bucket() in aggregation.cpp: a demand
+// sitting exactly on a bucket edge ρ = ratio^j must land in bucket j on
+// every libm/FMA configuration (the raw log-quotient floors to j or j−1
+// depending on ulp noise; the ilogb fast path and the epsilon nudge make
+// the choice deterministic).
+TEST(AggregationTest, BucketEdgesArePlatformStable) {
+  Instance inst = make_instance(16, 6, 6, 1);
+  // One home, one service: only the bucket differentiates classes.
+  for (auto& r : inst.workload.requests) r.home_station = 0;
+  common::Rng rng(16);
+  CachingProblem problem(inst.topo.get(), inst.workload.services,
+                         inst.workload.requests, ProblemOptions{}, rng);
+  DemandClassing classing;
+  auto bucket_of = [&](std::size_t l) {
+    return classing.classes()[classing.class_of_request()[l]].bucket;
+  };
+
+  // Ratio 2.0 — the IEEE-754 exponent path: powers of two are exact
+  // bucket edges and open their own bucket, never the one below.
+  AggregationOptions o;
+  o.bucket_ratio = 2.0;
+  classing.build(problem, {0.25, 0.5, 1.0, 2.0, 4.0, 1024.0}, o);
+  EXPECT_EQ(bucket_of(0), -2);
+  EXPECT_EQ(bucket_of(1), -1);
+  EXPECT_EQ(bucket_of(2), 0);
+  EXPECT_EQ(bucket_of(3), 1);
+  EXPECT_EQ(bucket_of(4), 2);
+  EXPECT_EQ(bucket_of(5), 10);
+
+  // A non-2 ratio — the nudged log-quotient path: exact edges floor up,
+  // near-edge demands just below stay down.
+  o.bucket_ratio = 3.0;
+  classing.build(problem, {1.0, 3.0, 8.9999, 9.0, 27.0, 10.0}, o);
+  EXPECT_EQ(bucket_of(0), 0);
+  EXPECT_EQ(bucket_of(1), 1);
+  EXPECT_EQ(bucket_of(2), 1);  // just below the 3^2 edge
+  EXPECT_EQ(bucket_of(3), 2);  // exactly on the 3^2 edge
+  EXPECT_EQ(bucket_of(4), 3);  // exactly on the 3^3 edge
+  EXPECT_EQ(bucket_of(5), 2);  // interior of bucket 2
+
+  // Sweep computed edges ratio^j across ratios and exponents: std::pow's
+  // ulp noise must never drop an edge demand into bucket j−1.
+  for (double ratio : {1.5, 2.0, 3.0, 10.0}) {
+    o.bucket_ratio = ratio;
+    for (int j = -3; j <= 3; ++j) {
+      std::vector<double> demands(6, 1.0);
+      demands[0] = std::pow(ratio, j);
+      classing.build(problem, demands, o);
+      EXPECT_EQ(bucket_of(0), j) << "ratio " << ratio << ", edge " << j;
+    }
+  }
+}
+
 TEST(DemandClassing, RejectsBadInputs) {
   Instance inst = make_instance(15, 6, 10);
   DemandClassing classing;

@@ -121,6 +121,7 @@ TEST(Checkpoint, RoundtripsEveryField) {
   ckpt.config.num_stations = 7;
   ckpt.config.num_requests = 19;
   ckpt.config.faults = 1;
+  ckpt.config.solver = 3;  // lagrangian (format v3 recipe field)
   ckpt.slot = 14;
   ckpt.trace_records = 15;
   ckpt.trace_offset = 12345;
@@ -132,6 +133,8 @@ TEST(Checkpoint, RoundtripsEveryField) {
   ckpt.algo.bandit_plays = {4, 0, 9};
   ckpt.algo.bandit_total_plays = 13;
   ckpt.algo.rng_stream = "1234 5678 42";
+  ckpt.algo.lag_warm.lambda = {0.0, 0.125, 9.5};  // format v2 dual state
+  ckpt.algo.lag_warm.step_scale = 0.75;
   ckpt.engine.has_decision = true;
   ckpt.engine.decision.station_of_request = {0, 2, 1};
   ckpt.engine.decision.cached = {{true, false}, {false, true}};
@@ -151,6 +154,9 @@ TEST(Checkpoint, RoundtripsEveryField) {
   EXPECT_EQ(back.algo.bandit_plays, ckpt.algo.bandit_plays);
   EXPECT_EQ(back.algo.bandit_total_plays, 13u);
   EXPECT_EQ(back.algo.rng_stream, "1234 5678 42");
+  EXPECT_EQ(back.config.solver, 3);
+  EXPECT_EQ(back.algo.lag_warm.lambda, ckpt.algo.lag_warm.lambda);
+  EXPECT_EQ(back.algo.lag_warm.step_scale, ckpt.algo.lag_warm.step_scale);
   EXPECT_TRUE(back.engine.has_decision);
   EXPECT_EQ(back.engine.decision.station_of_request,
             ckpt.engine.decision.station_of_request);
@@ -247,6 +253,63 @@ TEST(CrashResume, SigkillThenResumeMatchesUninterruptedTwin) {
             0);
   expect_same_records_modulo_timing(trace_a, trace_b);
 
+  std::remove(trace_a.c_str());
+  std::remove(trace_b.c_str());
+  std::remove(ckpt_b.c_str());
+  std::remove((trace_a + ".ckpt").c_str());
+}
+
+// The same twin contract under MECSC_SOLVER=lagrangian: the dual warm
+// state (λ, step scale) rides in the checkpoint (format v2), so the
+// resumed run's subgradient ascent restarts from the exact prices the
+// killed run carried — any drift would surface as a record mismatch.
+TEST(CrashResume, SigkillThenResumeBitIdenticalUnderLagrangianTier) {
+  setenv("MECSC_SOLVER", "lagrangian", 1);
+  const std::string trace_a = temp_path("lag_twin_a.trace");
+  const std::string trace_b = temp_path("lag_twin_b.trace");
+  const std::string args =
+      " --stations 14 --requests 40 --services 4 --slots 20 --seed 17"
+      " --paced --checkpoint-every 4";
+
+  ASSERT_EQ(run_command(daemon_bin() + args + " --trace-out " + trace_a +
+                        " 2>/dev/null"),
+            0);
+
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Inherits MECSC_SOLVER=lagrangian from the setenv above.
+    execl(daemon_bin().c_str(), "mecsc_serve", "--stations", "14",
+          "--requests", "40", "--services", "4", "--slots", "20", "--seed",
+          "17", "--paced", "--paced-min-ms", "50", "--checkpoint-every", "4",
+          "--trace-out", trace_b.c_str(), (char*)nullptr);
+    _exit(127);
+  }
+  const std::string ckpt_b = trace_b + ".ckpt";
+  for (int i = 0; i < 2000; ++i) {
+    std::ifstream probe(ckpt_b, std::ios::binary);
+    if (probe.good()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  ASSERT_EQ(kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+
+  ASSERT_EQ(run_command(daemon_bin() + args + " --trace-out " + trace_b +
+                        " --resume 2>/dev/null"),
+            0);
+
+  // Replay pins the recorded tier from the trace recipe (format v3), so
+  // --verify exercises the Lagrangian path regardless of the env.
+  EXPECT_EQ(run_command(daemon_bin() + " --verify " + trace_a + " 2>/dev/null"),
+            0);
+  EXPECT_EQ(run_command(daemon_bin() + " --verify " + trace_b + " 2>/dev/null"),
+            0);
+  expect_same_records_modulo_timing(trace_a, trace_b);
+
+  unsetenv("MECSC_SOLVER");
   std::remove(trace_a.c_str());
   std::remove(trace_b.c_str());
   std::remove(ckpt_b.c_str());
